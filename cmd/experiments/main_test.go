@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 42, "", true, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, id := range []string{"fig1", "tab6", "extEnsemble"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list output missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	var b strings.Builder
+	if err := run(&b, 42, "nope", false, ""); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestRunSingleExperimentWithCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a full framework; skipped in -short")
+	}
+	dir := t.TempDir()
+	var b strings.Builder
+	if err := run(&b, 42, "tabX", false, dir); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Table X") {
+		t.Fatalf("output missing table:\n%s", b.String())
+	}
+	f, err := os.Open(filepath.Join(dir, "tabX.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 6 rows
+	if len(records) != 7 {
+		t.Fatalf("csv has %d records", len(records))
+	}
+	if records[0][0] != "task" {
+		t.Fatalf("csv header %v", records[0])
+	}
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunListTargets(t *testing.T) {
+	if err := run("nlp", "", 42, 0, "", false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingTarget(t *testing.T) {
+	if err := run("nlp", "", 42, 0, "", false, false); err == nil {
+		t.Fatal("missing target accepted")
+	}
+}
+
+func TestRunUnknownTask(t *testing.T) {
+	if err := run("audio", "x", 42, 0, "", false, false); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}
+
+func TestRunUnknownTarget(t *testing.T) {
+	if err := run("nlp", "no-such-dataset", 42, 0, "", false, false); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestRunEndToEndWithStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline; skipped in -short")
+	}
+	dir := t.TempDir()
+	if err := run("nlp", "tweet_eval", 42, 5, dir, false, false); err != nil {
+		t.Fatal(err)
+	}
+	// the offline matrix must have been persisted
+	path := filepath.Join(dir, "matrices", "nlp.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("store missing matrix: %v", err)
+	}
+}
+
+func TestShorten(t *testing.T) {
+	got := shorten([]string{"a/b", "c/d", "e", "f", "g"}, 3)
+	if len(got) != 4 || got[0] != "b" || got[3] != "+2 more" {
+		t.Fatalf("shorten = %v", got)
+	}
+}
+
+func TestPrintPlan(t *testing.T) {
+	if err := printPlan("nlp", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := printPlan("cv", 8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Benchmark compaction (§VII future work): find a small subset of
+// benchmark datasets whose performance vectors preserve the full matrix's
+// model-similarity structure, so the offline matrix can be maintained more
+// cheaply as the repository grows.
+//
+// The example greedily adds the benchmark that best restores the pairwise
+// model-distance ordering of the full 24-benchmark matrix, and reports how
+// few benchmarks already suffice.
+//
+//	go run ./examples/benchcompact
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"twophase/internal/cluster"
+	"twophase/internal/core"
+	"twophase/internal/datahub"
+	"twophase/internal/numeric"
+)
+
+func main() {
+	fw, err := core.Build(core.Options{Task: datahub.TaskNLP, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := fw.Matrix.Models
+	full := make([][]float64, len(names))
+	for i, n := range names {
+		full[i], err = fw.Matrix.Vector(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	dist := cluster.TopKDistance(fw.Recall.SimilarityK)
+	ref := pairwise(full, dist)
+
+	nBench := len(fw.Matrix.Datasets)
+	var chosen []int
+	remaining := map[int]bool{}
+	for i := 0; i < nBench; i++ {
+		remaining[i] = true
+	}
+
+	fmt.Printf("full matrix: %d benchmarks; greedy compaction by distance-structure correlation\n\n", nBench)
+	for len(chosen) < 12 {
+		bestIdx, bestCorr := -1, -2.0
+		for cand := range remaining {
+			cols := append(append([]int{}, chosen...), cand)
+			sub := project(full, cols)
+			// Eq. 1 distance with k capped by the subset width.
+			k := fw.Recall.SimilarityK
+			if k > len(cols) {
+				k = len(cols)
+			}
+			corr := numeric.PearsonCorrelation(ref, pairwise(sub, cluster.TopKDistance(k)))
+			if corr > bestCorr {
+				bestIdx, bestCorr = cand, corr
+			}
+		}
+		chosen = append(chosen, bestIdx)
+		delete(remaining, bestIdx)
+		fmt.Printf("  %2d benchmarks: corr %.3f  (+ %s)\n", len(chosen), bestCorr, fw.Matrix.Datasets[bestIdx])
+		if bestCorr > 0.95 {
+			fmt.Printf("\n%d of %d benchmarks already reproduce the model-similarity structure (corr > 0.95)\n",
+				len(chosen), nBench)
+			break
+		}
+	}
+}
+
+// pairwise flattens the upper-triangular pairwise distances of vecs.
+func pairwise(vecs [][]float64, dist cluster.Distance) []float64 {
+	var out []float64
+	for i := range vecs {
+		for j := i + 1; j < len(vecs); j++ {
+			out = append(out, dist(vecs[i], vecs[j]))
+		}
+	}
+	return out
+}
+
+// project keeps only the given columns of each vector.
+func project(vecs [][]float64, cols []int) [][]float64 {
+	out := make([][]float64, len(vecs))
+	for i, v := range vecs {
+		p := make([]float64, len(cols))
+		for j, c := range cols {
+			p[j] = v[c]
+		}
+		out[i] = p
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package core is the paper's two-phase model-selection framework: an
+// offline phase that builds the performance matrix and model clustering
+// once, and an online phase that, for each new target task, coarse-recalls
+// a small candidate set via clustered proxy scoring and fine-selects the
+// final model via convergence-trend-guided successive halving (§II.B).
+//
+// Typical use:
+//
+//	fw, err := core.Build(core.Options{Task: datahub.TaskNLP, Seed: 42})
+//	report, err := fw.SelectByName("tweet_eval")
+//	fmt.Println(report.Outcome.Winner, report.TotalEpochs())
+package core
+
+import (
+	"fmt"
+
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+	"twophase/internal/perfmatrix"
+	"twophase/internal/recall"
+	"twophase/internal/selection"
+	"twophase/internal/synth"
+	"twophase/internal/trainer"
+)
+
+// Options configures the offline build.
+type Options struct {
+	// Task selects the repository/dataset family ("nlp" or "cv").
+	Task string
+	// Seed drives every stochastic choice of the synthetic world.
+	Seed uint64
+	// Sizes optionally overrides split sizes (zero means defaults).
+	Sizes datahub.Sizes
+	// HP optionally overrides training hyperparameters (zero means the
+	// paper's per-task defaults).
+	HP trainer.Hyperparams
+	// Recall optionally overrides coarse-recall options (zero-value
+	// fields fall back to the paper's defaults).
+	Recall recall.Options
+}
+
+// Framework bundles the offline artifacts needed to serve online
+// selections for new target tasks.
+type Framework struct {
+	Task    string
+	World   *synth.World
+	Catalog *datahub.Catalog
+	Repo    *modelhub.Repository
+	Matrix  *perfmatrix.Matrix
+	HP      trainer.Hyperparams
+	Recall  recall.Options
+	Seed    uint64
+}
+
+// Build runs the offline phase: materialize the world, fine-tune every
+// repository model on every benchmark dataset, and keep the performance
+// matrix plus convergence records for online use.
+func Build(opts Options) (*Framework, error) {
+	if opts.Task == "" {
+		opts.Task = datahub.TaskNLP
+	}
+	w := synth.NewWorld(opts.Seed)
+	cat, err := datahub.NewTaskCatalog(w, opts.Task, opts.Sizes)
+	if err != nil {
+		return nil, fmt.Errorf("core: catalog: %w", err)
+	}
+	repo, err := modelhub.NewTaskRepository(w, opts.Task)
+	if err != nil {
+		return nil, fmt.Errorf("core: repository: %w", err)
+	}
+	hp := opts.HP
+	if hp == (trainer.Hyperparams{}) {
+		hp = trainer.Default(opts.Task)
+	}
+	m, err := perfmatrix.Build(repo, cat.Benchmarks(), hp, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: performance matrix: %w", err)
+	}
+	ro := opts.Recall
+	def := recall.DefaultOptions()
+	if ro.K <= 0 {
+		ro.K = def.K
+	}
+	if ro.SimilarityK <= 0 {
+		ro.SimilarityK = def.SimilarityK
+	}
+	if ro.Threshold <= 0 {
+		// CV performance vectors span only 10 benchmarks, so their Eq. 1
+		// distances are tighter; a finer cut keeps the cluster structure
+		// (6 non-singleton clusters in the paper's Table II) visible.
+		if opts.Task == datahub.TaskCV {
+			ro.Threshold = 0.06
+		} else {
+			ro.Threshold = def.Threshold
+		}
+	}
+	if ro.Scorer == nil {
+		ro.Scorer = def.Scorer
+	}
+	return &Framework{
+		Task:    opts.Task,
+		World:   w,
+		Catalog: cat,
+		Repo:    repo,
+		Matrix:  m,
+		HP:      hp,
+		Recall:  ro,
+		Seed:    opts.Seed,
+	}, nil
+}
+
+// Report is the result of one end-to-end two-phase selection.
+type Report struct {
+	// Target is the target dataset's name.
+	Target string
+	// Recall is the coarse-recall phase result.
+	Recall *recall.Result
+	// Outcome is the fine-selection phase result.
+	Outcome *selection.Outcome
+	// Ledger is the combined cost of both phases.
+	Ledger trainer.Ledger
+}
+
+// TotalEpochs returns the end-to-end cost in epochs (proxy inference
+// charged at 0.5 per scored model, as in Table VI).
+func (r *Report) TotalEpochs() float64 { return r.Ledger.Total() }
+
+// Select runs the full online pipeline (coarse recall, then fine
+// selection) for a target dataset.
+func (f *Framework) Select(target *datahub.Dataset) (*Report, error) {
+	var ledger trainer.Ledger
+	rr, err := recall.CoarseRecall(f.Matrix, f.Repo, target, f.Recall, &ledger)
+	if err != nil {
+		return nil, fmt.Errorf("core: coarse recall on %s: %w", target.Name, err)
+	}
+	candidates, err := f.Repo.Subset(rr.Recalled)
+	if err != nil {
+		return nil, err
+	}
+	out, err := selection.FineSelect(candidates.Models(), target, selection.FineSelectOptions{
+		Config: selection.Config{HP: f.HP, Seed: f.Seed, Salt: "two-phase"},
+		Matrix: f.Matrix,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: fine selection on %s: %w", target.Name, err)
+	}
+	ledger.Add(out.Ledger)
+	return &Report{Target: target.Name, Recall: rr, Outcome: out, Ledger: ledger}, nil
+}
+
+// SelectByName resolves the target from the framework's catalog and runs
+// Select.
+func (f *Framework) SelectByName(name string) (*Report, error) {
+	d, err := f.Catalog.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.Select(d)
+}
+
+// BruteForce runs the brute-force baseline over the whole repository for
+// a target (Table VI's BF row).
+func (f *Framework) BruteForce(target *datahub.Dataset) (*selection.Outcome, error) {
+	return selection.BruteForce(f.Repo.Models(), target, selection.Config{HP: f.HP, Seed: f.Seed, Salt: "brute-force"})
+}
+
+// SuccessiveHalving runs the SH baseline over the whole repository for a
+// target (Table VI's SH row).
+func (f *Framework) SuccessiveHalving(target *datahub.Dataset) (*selection.Outcome, error) {
+	return selection.SuccessiveHalving(f.Repo.Models(), target, selection.Config{HP: f.HP, Seed: f.Seed, Salt: "successive-halving"})
+}
+
+// OracleAccuracies brute-force fine-tunes every repository model on the
+// target and returns each model's final test accuracy — the ground truth
+// used by the evaluation (Fig. 1, Fig. 5, Table VII). It is an
+// experiment-support utility, not part of the selection pipeline.
+func (f *Framework) OracleAccuracies(target *datahub.Dataset) (map[string]float64, error) {
+	out := make(map[string]float64, f.Repo.Len())
+	for _, m := range f.Repo.Models() {
+		curve, err := trainer.FineTune(m, target, f.HP, f.Seed, "oracle")
+		if err != nil {
+			return nil, err
+		}
+		out[m.Name] = curve.FinalTest()
+	}
+	return out, nil
+}

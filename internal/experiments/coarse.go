@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"twophase/internal/cluster"
+	"twophase/internal/datahub"
+	"twophase/internal/numeric"
+	"twophase/internal/recall"
+	"twophase/internal/textsim"
+)
+
+// fig1Datasets mirrors the paper's Fig. 1 pair: the MNLI target for NLP
+// and the CUB dataset for CV.
+var fig1Datasets = map[string]string{
+	datahub.TaskNLP: "LysandreJik/glue-mnli-train",
+	datahub.TaskCV:  "alkzar90/CC6204-Hackaton-Cub-Dataset",
+}
+
+// Fig1 reproduces Fig. 1: fine-tuning accuracy of every repository model
+// on one NLP and one CV dataset, sorted descending — demonstrating that
+// well-suited models are markedly outnumbered by poor ones.
+func Fig1(e *Env) (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 1 — accuracy of all models, sorted desc",
+		Header: []string{"task", "dataset", "rank", "model", "accuracy"},
+	}
+	for _, task := range []string{datahub.TaskNLP, datahub.TaskCV} {
+		dsName := fig1Datasets[task]
+		oracle, err := e.Oracle(task, dsName)
+		if err != nil {
+			return nil, err
+		}
+		type mv struct {
+			name string
+			acc  float64
+		}
+		var all []mv
+		for n, a := range oracle {
+			all = append(all, mv{n, a})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].acc != all[j].acc {
+				return all[i].acc > all[j].acc
+			}
+			return all[i].name < all[j].name
+		})
+		for i, m := range all {
+			t.AddRow(task, dsName, i, m.name, m.acc)
+		}
+		spread := all[0].acc - all[len(all)-1].acc
+		median := all[len(all)/2].acc
+		t.Note("%s: best %.3f, median %.3f, worst %.3f (spread %.3f) — few strong models, long weak tail",
+			task, all[0].acc, median, all[len(all)-1].acc, spread)
+	}
+	return t, nil
+}
+
+// perfVectors extracts the performance vectors of a task's matrix.
+func perfVectors(e *Env, task string) ([]string, [][]float64, error) {
+	fw, err := e.Framework(task)
+	if err != nil {
+		return nil, nil, err
+	}
+	names := fw.Matrix.Models
+	vecs := make([][]float64, len(names))
+	for i, n := range names {
+		v, err := fw.Matrix.Vector(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		vecs[i] = v
+	}
+	return names, vecs, nil
+}
+
+// cardVectors embeds every model card.
+func cardVectors(e *Env, task string) ([][]float64, error) {
+	fw, err := e.Framework(task)
+	if err != nil {
+		return nil, err
+	}
+	var vecs [][]float64
+	for _, name := range fw.Matrix.Models {
+		m, err := fw.Repo.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		vecs = append(vecs, textsim.Embed(m.Card()))
+	}
+	return vecs, nil
+}
+
+// Table1 reproduces Table I: performance-based vs text-based similarity
+// under hierarchical clustering and k-means. All four clusterings are
+// scored with the *behavioural* silhouette — Eq. 1 distance over
+// performance vectors — because the question Table I answers is which
+// similarity groups models that actually train alike (the paper's own
+// reading: "models with similar model names may also vary").
+func Table1(e *Env) (*Table, error) {
+	t := &Table{
+		Title:  "Table I — clustering methods comparison (behavioural silhouette)",
+		Header: []string{"similarity", "algorithm", "NLP", "CV"},
+	}
+	type cell struct{ sim, alg string }
+	results := map[cell]map[string]float64{}
+	add := func(sim, alg, task string, v float64) {
+		c := cell{sim, alg}
+		if results[c] == nil {
+			results[c] = map[string]float64{}
+		}
+		results[c][task] = v
+	}
+
+	for _, task := range []string{datahub.TaskNLP, datahub.TaskCV} {
+		fw, err := e.Framework(task)
+		if err != nil {
+			return nil, err
+		}
+		_, perf, err := perfVectors(e, task)
+		if err != nil {
+			return nil, err
+		}
+		cards, err := cardVectors(e, task)
+		if err != nil {
+			return nil, err
+		}
+		dist := cluster.TopKDistance(fw.Recall.SimilarityK)
+
+		// Reference clustering fixes K so all four cells cluster at the
+		// same granularity.
+		ref := cluster.Agglomerative(perf, dist, fw.Recall.Threshold, 0)
+		k := ref.K
+
+		add("performance-based", "hierarchical", task,
+			cluster.Silhouette(perf, ref, dist))
+		km := cluster.KMeans(perf, k, numeric.NewNamedRNG(e.Seed, "tab1-kmeans-perf", task), 100)
+		add("performance-based", "k-means", task,
+			cluster.Silhouette(perf, km, dist))
+
+		textHier := cluster.Agglomerative(cards, cluster.Cosine, 0, k)
+		add("text-based", "hierarchical", task,
+			cluster.Silhouette(perf, textHier, dist))
+		textKM := cluster.KMeans(cards, k, numeric.NewNamedRNG(e.Seed, "tab1-kmeans-text", task), 100)
+		add("text-based", "k-means", task,
+			cluster.Silhouette(perf, textKM, dist))
+	}
+
+	for _, c := range []cell{
+		{"performance-based", "hierarchical"},
+		{"performance-based", "k-means"},
+		{"text-based", "hierarchical"},
+		{"text-based", "k-means"},
+	} {
+		t.AddRow(c.sim, c.alg, results[c][datahub.TaskNLP], results[c][datahub.TaskCV])
+	}
+	t.Note("paper's shape: performance-based beats text-based; hierarchical beats k-means on performance similarity")
+	return t, nil
+}
+
+// Table2 reproduces Table II: the membership of every non-singleton model
+// cluster under hierarchical clustering with Eq. 1 similarity.
+func Table2(e *Env) (*Table, error) {
+	t := &Table{
+		Title:  "Table II — non-singleton model clusters",
+		Header: []string{"task", "cluster", "size", "members"},
+	}
+	for _, task := range []string{datahub.TaskNLP, datahub.TaskCV} {
+		fw, err := e.Framework(task)
+		if err != nil {
+			return nil, err
+		}
+		names, vecs, err := perfVectors(e, task)
+		if err != nil {
+			return nil, err
+		}
+		dist := cluster.TopKDistance(fw.Recall.SimilarityK)
+		cl := cluster.Agglomerative(vecs, dist, fw.Recall.Threshold, 0)
+		id := 0
+		covered := 0
+		for _, g := range cl.NonSingletons() {
+			id++
+			members := make([]string, len(g))
+			for i, idx := range g {
+				members[i] = names[idx]
+			}
+			covered += len(g)
+			t.AddRow(task, fmt.Sprintf("C%d", id), len(g), joinTrunc(members, 4))
+		}
+		t.Note("%s: %d non-singleton clusters covering %d/%d models", task, id, covered, len(names))
+	}
+	return t, nil
+}
+
+func joinTrunc(items []string, max int) string {
+	if len(items) <= max {
+		return join(items)
+	}
+	return join(items[:max]) + fmt.Sprintf(", ... (+%d)", len(items)-max)
+}
+
+func join(items []string) string {
+	out := ""
+	for i, s := range items {
+		if i > 0 {
+			out += ", "
+		}
+		out += s
+	}
+	return out
+}
+
+// Table3 reproduces Table III: models in non-singleton clusters have
+// higher average benchmark accuracy and contribute nearly all per-dataset
+// best models.
+func Table3(e *Env) (*Table, error) {
+	t := &Table{
+		Title:  "Table III — singleton vs non-singleton cluster performance",
+		Header: []string{"task", "cluster type", "avg(acc)", "no. maximum(acc)"},
+	}
+	for _, task := range []string{datahub.TaskNLP, datahub.TaskCV} {
+		fw, err := e.Framework(task)
+		if err != nil {
+			return nil, err
+		}
+		names, vecs, err := perfVectors(e, task)
+		if err != nil {
+			return nil, err
+		}
+		dist := cluster.TopKDistance(fw.Recall.SimilarityK)
+		cl := cluster.Agglomerative(vecs, dist, fw.Recall.Threshold, 0)
+
+		inNonSingleton := make([]bool, len(names))
+		for _, g := range cl.NonSingletons() {
+			for _, i := range g {
+				inNonSingleton[i] = true
+			}
+		}
+
+		var nsAcc, sAcc []float64
+		for i := range names {
+			avg := numeric.Mean(vecs[i])
+			if inNonSingleton[i] {
+				nsAcc = append(nsAcc, avg)
+			} else {
+				sAcc = append(sAcc, avg)
+			}
+		}
+		// count of per-benchmark best models per cluster type
+		nsBest, sBest := 0, 0
+		for d := range fw.Matrix.Datasets {
+			best, bestAcc := -1, -1.0
+			for i := range names {
+				if vecs[i][d] > bestAcc {
+					best, bestAcc = i, vecs[i][d]
+				}
+			}
+			if inNonSingleton[best] {
+				nsBest++
+			} else {
+				sBest++
+			}
+		}
+		t.AddRow(task, "non-singleton", numeric.Mean(nsAcc), nsBest)
+		t.AddRow(task, "singleton", numeric.Mean(sAcc), sBest)
+	}
+	t.Note("paper's shape: non-singleton clusters hold the stronger models and almost all per-benchmark maxima")
+	return t, nil
+}
+
+// Fig5 reproduces Fig. 5: the average ground-truth accuracy of the top-K
+// recalled models under coarse recall vs random recall, for each target.
+func Fig5(e *Env) (*Table, error) {
+	t := &Table{
+		Title:  "Fig. 5 — avg accuracy of recalled models (coarse vs random)",
+		Header: []string{"task", "dataset", "K", "coarse-recall", "random-recall"},
+	}
+	const randomDraws = 20
+	wins, cells := 0, 0
+	for _, task := range []string{datahub.TaskNLP, datahub.TaskCV} {
+		fw, err := e.Framework(task)
+		if err != nil {
+			return nil, err
+		}
+		targets, err := e.Targets(task)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range targets {
+			oracle, err := e.Oracle(task, d.Name)
+			if err != nil {
+				return nil, err
+			}
+			opts := fw.Recall
+			opts.K = fw.Repo.Len() // rank everything once, slice per K
+			rr, err := recall.CoarseRecall(fw.Matrix, fw.Repo, d, opts, nil)
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range []int{3, 5, 10, 15, 20} {
+				var coarse []float64
+				for _, n := range rr.Recalled[:k] {
+					coarse = append(coarse, oracle[n])
+				}
+				var random []float64
+				for r := 0; r < randomDraws; r++ {
+					rng := numeric.NewNamedRNG(e.Seed, "fig5-random", d.Name, fmt.Sprint(r))
+					for _, n := range recall.RandomRecall(fw.Matrix, k, rng) {
+						random = append(random, oracle[n])
+					}
+				}
+				c, rd := numeric.Mean(coarse), numeric.Mean(random)
+				t.AddRow(task, d.Name, k, c, rd)
+				cells++
+				if c > rd {
+					wins++
+				}
+			}
+		}
+	}
+	t.Note("coarse-recall beats random-recall in %d/%d (dataset, K) cells", wins, cells)
+	return t, nil
+}
+
+// TableX reproduces appendix Table X: the silhouette coefficient of
+// hierarchical clustering as Eq. 1's parameter k varies.
+func TableX(e *Env) (*Table, error) {
+	t := &Table{
+		Title:  "Appendix Table X — Eq. 1 parameter k selection",
+		Header: []string{"task", "k", "silhouette"},
+	}
+	ks := map[string][]int{
+		datahub.TaskNLP: {5, 10, 15},
+		datahub.TaskCV:  {3, 4, 5},
+	}
+	for _, task := range []string{datahub.TaskNLP, datahub.TaskCV} {
+		fw, err := e.Framework(task)
+		if err != nil {
+			return nil, err
+		}
+		_, vecs, err := perfVectors(e, task)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range ks[task] {
+			dist := cluster.TopKDistance(k)
+			cl := cluster.Agglomerative(vecs, dist, fw.Recall.Threshold, 0)
+			t.AddRow(task, k, cluster.Silhouette(vecs, cl, dist))
+		}
+	}
+	t.Note("the paper finds the silhouette fluctuates within an acceptable range and fixes k=5")
+	return t, nil
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	envOnce sync.Once
+	sharedE *Env
+)
+
+// sharedEnv builds one environment per test binary; experiments only read
+// from it (plus append to its oracle cache, which is mutex-guarded).
+func sharedEnv() *Env {
+	envOnce.Do(func() { sharedE = NewEnv(DefaultSeed) })
+	return sharedE
+}
+
+func TestAllIDsUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, ex := range All() {
+		if ex.ID == "" || seen[ex.ID] {
+			t.Fatalf("bad or duplicate id %q", ex.ID)
+		}
+		seen[ex.ID] = true
+		got, err := ByID(ex.ID)
+		if err != nil || got.Paper != ex.Paper {
+			t.Fatalf("ByID(%q) broken", ex.ID)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "demo", Header: []string{"a", "b"}}
+	tbl.AddRow("x", 0.5)
+	tbl.AddRow(1, "y")
+	tbl.Note("n=%d", 2)
+	out := tbl.String()
+	for _, want := range []string{"== demo ==", "a", "0.500", "note: n=2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// runExperiment executes one experiment against the shared env and applies
+// generic sanity checks.
+func runExperiment(t *testing.T, id string) *Table {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment runs full frameworks; skipped in -short")
+	}
+	ex, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := ex.Run(sharedEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Title == "" || len(tbl.Rows) == 0 {
+		t.Fatalf("experiment %s produced empty table", id)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("experiment %s row width %d != header %d", id, len(row), len(tbl.Header))
+		}
+	}
+	return tbl
+}
+
+func TestFig1Shape(t *testing.T) {
+	tbl := runExperiment(t, "fig1")
+	// 40 NLP + 30 CV rows
+	if len(tbl.Rows) != 70 {
+		t.Fatalf("fig1 rows %d", len(tbl.Rows))
+	}
+}
+
+func TestTable1PerformanceBeatsText(t *testing.T) {
+	tbl := runExperiment(t, "tab1")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("tab1 rows %d", len(tbl.Rows))
+	}
+	// row 0: performance-based hierarchical; row 2: text-based hierarchical
+	var perfNLP, textNLP float64
+	if _, err := sscan(tbl.Rows[0][2], &perfNLP); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(tbl.Rows[2][2], &textNLP); err != nil {
+		t.Fatal(err)
+	}
+	if perfNLP <= textNLP {
+		t.Fatalf("paper shape violated: performance-based NLP silhouette %v <= text-based %v", perfNLP, textNLP)
+	}
+}
+
+func TestTable2Clusters(t *testing.T) {
+	tbl := runExperiment(t, "tab2")
+	if len(tbl.Rows) < 6 {
+		t.Fatalf("tab2 found only %d non-singleton clusters", len(tbl.Rows))
+	}
+}
+
+func TestTable3NonSingletonStronger(t *testing.T) {
+	tbl := runExperiment(t, "tab3")
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("tab3 rows %d", len(tbl.Rows))
+	}
+	// per task: non-singleton avg acc > singleton avg acc
+	for i := 0; i < 4; i += 2 {
+		var ns, s float64
+		if _, err := sscan(tbl.Rows[i][2], &ns); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(tbl.Rows[i+1][2], &s); err != nil {
+			t.Fatal(err)
+		}
+		if ns <= s {
+			t.Fatalf("non-singleton avg %v not above singleton %v", ns, s)
+		}
+	}
+}
+
+func TestFig5CoarseBeatsRandomOverall(t *testing.T) {
+	tbl := runExperiment(t, "fig5")
+	var coarseSum, randomSum float64
+	for _, row := range tbl.Rows {
+		var c, r float64
+		if _, err := sscan(row[3], &c); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(row[4], &r); err != nil {
+			t.Fatal(err)
+		}
+		coarseSum += c
+		randomSum += r
+	}
+	if coarseSum <= randomSum {
+		t.Fatalf("coarse recall %v not above random %v in aggregate", coarseSum, randomSum)
+	}
+}
+
+func TestTable5FSFasterThanSH(t *testing.T) {
+	tbl := runExperiment(t, "tab5")
+	for _, row := range tbl.Rows {
+		var bf, sh, fs int
+		if _, err := sscan(row[2], &bf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(row[3], &sh); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(row[5], &fs); err != nil {
+			t.Fatal(err)
+		}
+		if !(fs <= sh && sh < bf) {
+			t.Fatalf("runtime order violated: FS=%d SH=%d BF=%d (%v)", fs, sh, bf, row)
+		}
+	}
+}
+
+func TestTable6SpeedupsPositive(t *testing.T) {
+	tbl := runExperiment(t, "tab6")
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("tab6 rows %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		var epochs float64
+		if _, err := sscan(row[1], &epochs); err != nil {
+			t.Fatal(err)
+		}
+		if epochs <= 0 || epochs > 60 {
+			t.Fatalf("2PH epochs %v implausible", epochs)
+		}
+		if !strings.HasSuffix(row[2], "x") || !strings.HasSuffix(row[3], "x") {
+			t.Fatalf("speedups malformed: %v", row)
+		}
+	}
+}
+
+func TestTable7RanksValid(t *testing.T) {
+	tbl := runExperiment(t, "tab7")
+	for _, row := range tbl.Rows {
+		var rank int
+		if _, err := sscan(row[3], &rank); err != nil {
+			t.Fatal(err)
+		}
+		if rank < 0 || rank >= 10 {
+			t.Fatalf("R@CR %d outside recalled set", rank)
+		}
+	}
+}
+
+func TestTable4ThresholdRows(t *testing.T) {
+	tbl := runExperiment(t, "tab4")
+	if len(tbl.Rows) != 8 { // 4 datasets x {accuracy, runtime}
+		t.Fatalf("tab4 rows %d", len(tbl.Rows))
+	}
+}
+
+func TestTableXRows(t *testing.T) {
+	tbl := runExperiment(t, "tabX")
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("tabX rows %d", len(tbl.Rows))
+	}
+}
+
+func TestFigExperimentsRun(t *testing.T) {
+	for _, id := range []string{"fig3", "fig4", "fig6", "fig7", "fig8"} {
+		id := id
+		t.Run(id, func(t *testing.T) { runExperiment(t, id) })
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	for _, id := range []string{"ablTopK", "ablRep", "ablTrend", "ablProxy"} {
+		id := id
+		t.Run(id, func(t *testing.T) { runExperiment(t, id) })
+	}
+}
+
+// sscan parses a single value out of a table cell.
+func sscan(cell string, v interface{}) (int, error) {
+	return fmt.Sscan(cell, v)
+}
+
+func TestExtensionEnsembleLifts(t *testing.T) {
+	tbl := runExperiment(t, "extEnsemble")
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("extEnsemble rows %d", len(tbl.Rows))
+	}
+	lifted := 0
+	for _, row := range tbl.Rows {
+		var single, ens float64
+		if _, err := sscan(row[1], &single); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(row[2], &ens); err != nil {
+			t.Fatal(err)
+		}
+		if ens >= single {
+			lifted++
+		}
+	}
+	if lifted < 5 {
+		t.Fatalf("ensemble lifted only %d/8 targets", lifted)
+	}
+}
+
+func TestAblationSubsetRows(t *testing.T) {
+	tbl := runExperiment(t, "ablSubset")
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("ablSubset rows %d", len(tbl.Rows))
+	}
+	// full-data rows must have ARI exactly 1
+	for _, row := range tbl.Rows {
+		var frac, ari float64
+		if _, err := sscan(row[1], &frac); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(row[2], &ari); err != nil {
+			t.Fatal(err)
+		}
+		if frac == 1 && ari != 1 {
+			t.Fatalf("full-data ARI %v != 1", ari)
+		}
+		if ari < -0.5 || ari > 1 {
+			t.Fatalf("ARI %v out of range", ari)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package modelhub defines the model side of the synthetic world: the
+// registry of pre-trained models (the paper's 40 NLP + 30 CV HuggingFace
+// model names with their architecture/upstream metadata) and the simulated
+// pre-trained model itself — a frozen nonlinear feature extractor plus a
+// fixed source-label head, which together stand in for a transformer
+// checkpoint (DESIGN.md §2).
+package modelhub
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"twophase/internal/numeric"
+	"twophase/internal/synth"
+)
+
+const (
+	// FeatureDim is the width of the frozen feature extractor's output,
+	// the space in which target heads are trained.
+	FeatureDim = 48
+	// PrefRank is the dimensionality of the subspace a model attends to
+	// preferentially (its "knowledge"). Inputs outside this span only
+	// reach the features through the weak generic pathway.
+	PrefRank = 8
+)
+
+// Spec is the static metadata of a pre-trained model.
+type Spec struct {
+	// Name is the HuggingFace identifier from the paper's Table VIII.
+	Name string
+	// Task is "nlp" or "cv".
+	Task string
+	// Arch is the architecture family (bert, roberta, vit, beit, ...).
+	Arch string
+	// Params is the approximate parameter count in millions (for cards).
+	Params int
+	// Domains is the upstream-training domain mixture inferred from the
+	// model's name and card, the latent driver of transferability.
+	Domains map[string]float64
+	// Capability in [0,1] captures generic feature quality: it raises
+	// both the aligned gain and the generic pathway, so strong models
+	// transfer broadly while weak ones only work near their domains.
+	Capability float64
+	// SourceClasses is the size of the upstream label space, over which
+	// the source head predicts (used by LEEP).
+	SourceClasses int
+	// Upstream names the upstream/fine-tuning datasets (for cards).
+	Upstream []string
+}
+
+// Model is a materialized simulated pre-trained model. Its extractor and
+// source head are frozen; only target-task heads are trained online.
+type Model struct {
+	Spec
+
+	prefDirs *numeric.Matrix // PrefRank x InputDim: the attended subspace
+	wPref    *numeric.Matrix // FeatureDim x PrefRank: aligned pathway
+	wGeneric *numeric.Matrix // FeatureDim x InputDim: generic pathway
+	bias     []float64       // FeatureDim
+	head     *numeric.Matrix // SourceClasses x FeatureDim: frozen source head
+
+	gain, leak float64
+}
+
+// Materialize builds the frozen weights of a model inside the world.
+// All randomness derives from (world seed, model name), so repeated calls
+// return an identical model.
+func Materialize(w *synth.World, spec Spec) (*Model, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("modelhub: model spec has empty name")
+	}
+	if spec.Capability < 0 || spec.Capability > 1 {
+		return nil, fmt.Errorf("modelhub: model %q capability %v outside [0,1]", spec.Name, spec.Capability)
+	}
+	if spec.SourceClasses < 2 {
+		return nil, fmt.Errorf("modelhub: model %q needs >= 2 source classes, got %d", spec.Name, spec.SourceClasses)
+	}
+	rng := numeric.NewNamedRNG(w.Seed, "model", spec.Name)
+	mix := synth.WithCore(spec.Domains, spec.Task, 0.30)
+
+	m := &Model{Spec: spec}
+	m.prefDirs = w.MixtureDirections(mix, PrefRank, rng)
+	// Low-capability models attend to a corrupted version of their domain
+	// subspace: even on in-domain tasks their features capture less of the
+	// discriminative structure. q is the retained alignment fraction.
+	q := 0.45 + 0.55*spec.Capability
+	for i := 0; i < m.prefDirs.Rows; i++ {
+		row := m.prefDirs.Row(i)
+		noise := rng.NormVec(synth.InputDim)
+		numeric.Normalize(noise)
+		for j := range row {
+			row[j] = q*row[j] + (1-q)*noise[j]
+		}
+		numeric.Normalize(row)
+	}
+	m.wPref = numeric.RandomMatrix(rng, FeatureDim, PrefRank, 1.0/2.5)
+	m.wGeneric = numeric.RandomMatrix(rng, FeatureDim, synth.InputDim, 1.0/5.0)
+	m.bias = make([]float64, FeatureDim)
+	for i := range m.bias {
+		m.bias[i] = rng.Norm() * 0.1
+	}
+	m.gain = 0.9 + 0.9*spec.Capability
+	m.leak = 0.10 + 0.35*spec.Capability
+
+	// Source head: template matching against the model's upstream task.
+	// A real checkpoint's classification head was trained on its upstream
+	// dataset, so its predictions are informative about where an input
+	// lies in the model's domain span — the property LEEP exploits. We
+	// synthesize upstream class centers inside the model's (corrupted)
+	// preferred subspace and use their feature embeddings as head rows.
+	const upstreamSep = 2.2
+	const headTemp = 1.5
+	m.head = numeric.NewMatrix(spec.SourceClasses, FeatureDim)
+	for z := 0; z < spec.SourceClasses; z++ {
+		center := make([]float64, synth.InputDim)
+		for j := 0; j < PrefRank; j++ {
+			numeric.AddScaled(center, rng.Norm()*upstreamSep, m.prefDirs.Row(j))
+		}
+		feat := m.Features(center)
+		row := m.head.Row(z)
+		for i, f := range feat {
+			row[i] = headTemp * f
+		}
+	}
+	return m, nil
+}
+
+// Features computes the frozen representation phi(x) = tanh(gain*Wp(Px) +
+// leak*Wg(x) + b). The caller owns the returned slice.
+func (m *Model) Features(x []float64) []float64 {
+	proj := make([]float64, PrefRank)
+	m.prefDirs.MulVec(x, proj)
+
+	aligned := make([]float64, FeatureDim)
+	m.wPref.MulVec(proj, aligned)
+	generic := make([]float64, FeatureDim)
+	m.wGeneric.MulVec(x, generic)
+
+	out := make([]float64, FeatureDim)
+	for i := range out {
+		out[i] = tanh(m.gain*aligned[i] + m.leak*generic[i] + m.bias[i])
+	}
+	return out
+}
+
+// FeatureBatch extracts features for every example, reusing nothing from
+// the inputs; the returned matrix is len(xs) x FeatureDim.
+func (m *Model) FeatureBatch(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = m.Features(x)
+	}
+	return out
+}
+
+// SourceProbs returns the frozen source head's softmax distribution over
+// the model's upstream label space, given already-extracted features.
+func (m *Model) SourceProbs(features []float64) []float64 {
+	logits := make([]float64, m.SourceClasses)
+	m.head.MulVec(features, logits)
+	numeric.Softmax(logits, logits)
+	return logits
+}
+
+// Card renders a synthetic model card: the text stand-in for the
+// HuggingFace card used by the Table I text-similarity baseline.
+func (m *Model) Card() string { return m.Spec.Card() }
+
+// Card renders the model card from spec metadata alone. Like a real
+// HuggingFace card it mixes the informative parts (name, architecture,
+// upstream datasets) with uploader-specific boilerplate — licenses,
+// hyperparameter tables, disclaimers — whose wording varies per model.
+// Crucially, the latent domain mixture is NOT written out: cards only
+// carry the indirect evidence (names) that the Table I text baseline has
+// access to in reality.
+func (s Spec) Card() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n\n", s.Name)
+	fmt.Fprintf(&b, "Architecture: %s with approximately %dM parameters for %s tasks.\n", s.Arch, s.Params, s.Task)
+	if len(s.Upstream) > 0 {
+		fmt.Fprintf(&b, "This model was trained or fine-tuned on: %s.\n", strings.Join(s.Upstream, ", "))
+	} else {
+		b.WriteString("This is a general-purpose pre-trained checkpoint.\n")
+	}
+	fmt.Fprintf(&b, "Label space size: %d.\n", s.SourceClasses)
+
+	// Deterministic per-model boilerplate: uploaders describe training
+	// setups, licenses and caveats in their own words.
+	rng := numeric.NewNamedRNG(0x6361726473, "card", s.Name) // "cards"
+	licenses := []string{
+		"Released under the apache 2.0 license.",
+		"Licensed under mit terms, no warranty provided.",
+		"Distributed under cc by sa 4.0, cite when reusing.",
+		"License unspecified, contact the uploader before commercial use.",
+	}
+	setups := []string{
+		"Trained with adamw optimizer, linear warmup schedule and gradient clipping.",
+		"Fine tuning used batch size 32, sequence length 128 and early stopping on dev loss.",
+		"Hyperparameters follow the original publication with minor learning rate adjustments.",
+		"Training ran on a single gpu for several hours with mixed precision enabled.",
+		"We used the default trainer settings from the transformers library.",
+	}
+	caveats := []string{
+		"The model may reflect biases present in its training corpus.",
+		"Evaluation numbers are reported on the hidden test split.",
+		"Results can vary with random seed and tokenization choices.",
+		"This checkpoint is provided for research purposes only.",
+		"Further details and training logs are available in the repository.",
+	}
+	b.WriteString(licenses[rng.Intn(len(licenses))] + "\n")
+	b.WriteString(setups[rng.Intn(len(setups))] + "\n")
+	b.WriteString(caveats[rng.Intn(len(caveats))] + "\n")
+	b.WriteString(caveats[rng.Intn(len(caveats))] + "\n")
+	return b.String()
+}
+
+func tanh(x float64) float64 { return math.Tanh(x) }

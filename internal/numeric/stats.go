@@ -1,0 +1,114 @@
+package numeric
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of v, or 0 for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the population standard deviation of v.
+func StdDev(v []float64) float64 {
+	if len(v) < 2 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)))
+}
+
+// Max returns the largest element of v; it panics on an empty slice.
+func Max(v []float64) float64 { return v[ArgMax(v)] }
+
+// Min returns the smallest element of v; it panics on an empty slice.
+func Min(v []float64) float64 { return v[ArgMin(v)] }
+
+// ArgSortDesc returns the indices of v ordered by descending value.
+// Ties break by ascending index so the order is deterministic.
+func ArgSortDesc(v []float64) []int {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] > v[idx[b]] })
+	return idx
+}
+
+// ArgSortAsc returns the indices of v ordered by ascending value.
+// Ties break by ascending index so the order is deterministic.
+func ArgSortAsc(v []float64) []int {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	return idx
+}
+
+// TopKMean returns the mean of the k largest elements of v. If k exceeds
+// len(v), the whole slice is averaged; k <= 0 returns 0.
+func TopKMean(v []float64, k int) float64 {
+	if k <= 0 || len(v) == 0 {
+		return 0
+	}
+	if k > len(v) {
+		k = len(v)
+	}
+	sorted := Clone(v)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	return Mean(sorted[:k])
+}
+
+// Clamp limits x to the interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Sigmoid returns the logistic function 1/(1+exp(-x)).
+func Sigmoid(x float64) float64 {
+	return 1 / (1 + math.Exp(-x))
+}
+
+// PearsonCorrelation returns the correlation coefficient of paired samples
+// x and y, or 0 when either side has no variance. It panics on length
+// mismatch.
+func PearsonCorrelation(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("numeric: PearsonCorrelation length mismatch")
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,219 @@
+// Package perfmatrix builds and stores the paper's offline artifacts: the
+// performance matrix Matrix(D, M) — final test accuracy of every model
+// fine-tuned on every benchmark dataset — together with the full per-epoch
+// validation/test curves that the fine-selection phase mines for
+// convergence trends (§II.B "Offline").
+package perfmatrix
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+	"twophase/internal/trainer"
+)
+
+// Entry records one offline fine-tuning run of a model on a benchmark
+// dataset.
+type Entry struct {
+	Model   string    `json:"model"`
+	Dataset string    `json:"dataset"`
+	Val     []float64 `json:"val"`  // per-epoch validation accuracy
+	Test    []float64 `json:"test"` // per-epoch test accuracy
+}
+
+// FinalTest returns the end-of-training test accuracy.
+func (e *Entry) FinalTest() float64 {
+	if len(e.Test) == 0 {
+		return 0
+	}
+	return e.Test[len(e.Test)-1]
+}
+
+// Matrix is the performance matrix plus convergence records for one task
+// family. Model and dataset orders are fixed at build time so performance
+// vectors are comparable.
+type Matrix struct {
+	Task     string            `json:"task"`
+	Models   []string          `json:"models"`
+	Datasets []string          `json:"datasets"`
+	Epochs   int               `json:"epochs"`
+	Entries  map[string]*Entry `json:"entries"` // keyed by model + "\x00" + dataset
+	modelIdx map[string]int    // lazily rebuilt
+	dsIdx    map[string]int
+	once     sync.Once
+}
+
+func key(model, dataset string) string { return model + "\x00" + dataset }
+
+// Build fine-tunes every model in the repository on every benchmark
+// dataset with the given hyperparameters, in parallel across runs. The
+// result is deterministic: each run draws from its own named RNG stream.
+func Build(repo *modelhub.Repository, benchmarks []*datahub.Dataset, hp trainer.Hyperparams, seed uint64) (*Matrix, error) {
+	if len(benchmarks) == 0 {
+		return nil, fmt.Errorf("perfmatrix: no benchmark datasets")
+	}
+	m := &Matrix{
+		Task:    repo.Task,
+		Epochs:  hp.Epochs,
+		Entries: make(map[string]*Entry, repo.Len()*len(benchmarks)),
+	}
+	for _, mod := range repo.Models() {
+		m.Models = append(m.Models, mod.Name)
+	}
+	for _, d := range benchmarks {
+		if !d.Benchmark {
+			return nil, fmt.Errorf("perfmatrix: dataset %q is not a benchmark dataset", d.Name)
+		}
+		m.Datasets = append(m.Datasets, d.Name)
+	}
+
+	type job struct {
+		model   *modelhub.Model
+		dataset *datahub.Dataset
+	}
+	jobs := make(chan job)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				curve, err := trainer.FineTune(j.model, j.dataset, hp, seed, "offline-matrix")
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				m.Entries[key(j.model.Name, j.dataset.Name)] = &Entry{
+					Model:   j.model.Name,
+					Dataset: j.dataset.Name,
+					Val:     curve.Val,
+					Test:    curve.Test,
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, mod := range repo.Models() {
+		for _, d := range benchmarks {
+			jobs <- job{mod, d}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return m, nil
+}
+
+func (m *Matrix) buildIndex() {
+	m.once.Do(func() {
+		m.modelIdx = make(map[string]int, len(m.Models))
+		for i, name := range m.Models {
+			m.modelIdx[name] = i
+		}
+		m.dsIdx = make(map[string]int, len(m.Datasets))
+		for i, name := range m.Datasets {
+			m.dsIdx[name] = i
+		}
+	})
+}
+
+// Entry returns the run record for (model, dataset).
+func (m *Matrix) Entry(model, dataset string) (*Entry, error) {
+	e, ok := m.Entries[key(model, dataset)]
+	if !ok {
+		return nil, fmt.Errorf("perfmatrix: no entry for model %q on dataset %q", model, dataset)
+	}
+	return e, nil
+}
+
+// Perf returns p(dataset | model): the final test accuracy of the model
+// fine-tuned on the benchmark dataset.
+func (m *Matrix) Perf(model, dataset string) (float64, error) {
+	e, err := m.Entry(model, dataset)
+	if err != nil {
+		return 0, err
+	}
+	return e.FinalTest(), nil
+}
+
+// Vector returns the model's |D|-dimensional performance vector in the
+// matrix's dataset order (vec(m_j) of §III.A).
+func (m *Matrix) Vector(model string) ([]float64, error) {
+	m.buildIndex()
+	if _, ok := m.modelIdx[model]; !ok {
+		return nil, fmt.Errorf("perfmatrix: unknown model %q", model)
+	}
+	v := make([]float64, len(m.Datasets))
+	for i, d := range m.Datasets {
+		p, err := m.Perf(model, d)
+		if err != nil {
+			return nil, err
+		}
+		v[i] = p
+	}
+	return v, nil
+}
+
+// AvgAcc returns acc(m_j): the model's mean final test accuracy across all
+// benchmark datasets (the prior-capability term of Eq. 2).
+func (m *Matrix) AvgAcc(model string) (float64, error) {
+	v, err := m.Vector(model)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v)), nil
+}
+
+// ValCurves returns, for one model, the per-benchmark validation curves
+// and final test accuracies — the raw material of convergence-trend
+// mining. Curves are returned in the matrix's dataset order.
+func (m *Matrix) ValCurves(model string) (val [][]float64, finalTest []float64, err error) {
+	for _, d := range m.Datasets {
+		e, err := m.Entry(model, d)
+		if err != nil {
+			return nil, nil, err
+		}
+		val = append(val, e.Val)
+		finalTest = append(finalTest, e.FinalTest())
+	}
+	return val, finalTest, nil
+}
+
+// Save writes the matrix as JSON to path.
+func (m *Matrix) Save(path string) error {
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return fmt.Errorf("perfmatrix: marshal: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("perfmatrix: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a matrix previously written by Save.
+func Load(path string) (*Matrix, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("perfmatrix: read %s: %w", path, err)
+	}
+	var m Matrix
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("perfmatrix: parse %s: %w", path, err)
+	}
+	return &m, nil
+}

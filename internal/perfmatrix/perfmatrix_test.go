@@ -1,0 +1,179 @@
+package perfmatrix
+
+import (
+	"path/filepath"
+	"testing"
+
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+	"twophase/internal/synth"
+	"twophase/internal/trainer"
+)
+
+// smallFixture builds a 4-model x 3-benchmark matrix quickly.
+func smallFixture(t *testing.T) (*modelhub.Repository, []*datahub.Dataset, *Matrix) {
+	t.Helper()
+	w := synth.NewWorld(42)
+	specs := modelhub.NLPSpecs()[:4]
+	repo, err := modelhub.NewRepository(w, datahub.TaskNLP, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var benches []*datahub.Dataset
+	for _, spec := range datahub.NLPBenchmarks()[:3] {
+		d, err := datahub.Generate(w, spec, datahub.Sizes{Train: 60, Val: 40, Test: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		benches = append(benches, d)
+	}
+	m, err := Build(repo, benches, trainer.Default(datahub.TaskNLP), w.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repo, benches, m
+}
+
+func TestBuildComplete(t *testing.T) {
+	repo, benches, m := smallFixture(t)
+	if len(m.Models) != repo.Len() || len(m.Datasets) != len(benches) {
+		t.Fatalf("matrix shape %dx%d", len(m.Models), len(m.Datasets))
+	}
+	if len(m.Entries) != repo.Len()*len(benches) {
+		t.Fatalf("entries %d", len(m.Entries))
+	}
+	for _, model := range m.Models {
+		for _, ds := range m.Datasets {
+			e, err := m.Entry(model, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(e.Val) != m.Epochs || len(e.Test) != m.Epochs {
+				t.Fatalf("curve lengths %d/%d", len(e.Val), len(e.Test))
+			}
+			p, err := m.Perf(model, ds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p < 0 || p > 1 {
+				t.Fatalf("perf %v", p)
+			}
+		}
+	}
+}
+
+func TestBuildRejectsTargets(t *testing.T) {
+	w := synth.NewWorld(42)
+	repo, err := modelhub.NewRepository(w, datahub.TaskNLP, modelhub.NLPSpecs()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := datahub.Generate(w, datahub.NLPTargets()[0], datahub.Sizes{Train: 20, Val: 10, Test: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(repo, []*datahub.Dataset{target}, trainer.Default(datahub.TaskNLP), 42); err == nil {
+		t.Fatal("target dataset accepted as benchmark")
+	}
+	if _, err := Build(repo, nil, trainer.Default(datahub.TaskNLP), 42); err == nil {
+		t.Fatal("empty benchmark list accepted")
+	}
+}
+
+func TestBuildDeterministicDespiteParallelism(t *testing.T) {
+	_, _, a := smallFixture(t)
+	_, _, b := smallFixture(t)
+	for k, ea := range a.Entries {
+		eb := b.Entries[k]
+		for i := range ea.Val {
+			if ea.Val[i] != eb.Val[i] {
+				t.Fatal("parallel builds diverged")
+			}
+		}
+	}
+}
+
+func TestVectorAndAvgAcc(t *testing.T) {
+	_, _, m := smallFixture(t)
+	v, err := m.Vector(m.Models[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != len(m.Datasets) {
+		t.Fatalf("vector len %d", len(v))
+	}
+	avg, err := m.AvgAcc(m.Models[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, x := range v {
+		want += x
+	}
+	want /= float64(len(v))
+	if avg != want {
+		t.Fatalf("avg %v != %v", avg, want)
+	}
+	if _, err := m.Vector("missing"); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}
+
+func TestValCurves(t *testing.T) {
+	_, _, m := smallFixture(t)
+	vals, finals, err := m.ValCurves(m.Models[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != len(m.Datasets) || len(finals) != len(m.Datasets) {
+		t.Fatal("ValCurves lengths wrong")
+	}
+	for i, ds := range m.Datasets {
+		e, err := m.Entry(m.Models[1], ds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if finals[i] != e.FinalTest() {
+			t.Fatal("final mismatch")
+		}
+	}
+}
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	_, _, m := smallFixture(t)
+	path := filepath.Join(t.TempDir(), "matrix.json")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Models) != len(m.Models) || len(loaded.Entries) != len(m.Entries) {
+		t.Fatal("roundtrip lost data")
+	}
+	a, err := m.Perf(m.Models[0], m.Datasets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loaded.Perf(m.Models[0], m.Datasets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("perf changed across roundtrip")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestEntryFinalTestEmpty(t *testing.T) {
+	e := &Entry{}
+	if e.FinalTest() != 0 {
+		t.Fatal("empty entry final should be 0")
+	}
+}

@@ -1,0 +1,15 @@
+package proxy_test
+
+import (
+	"fmt"
+
+	"twophase/internal/proxy"
+)
+
+// ExampleNormalize shows the Eq. 2 normalization of raw proxy scores into
+// [0, 1] across a candidate set.
+func ExampleNormalize() {
+	scores := proxy.Normalize([]float64{-1.2, -0.9, -0.6})
+	fmt.Printf("%.1f %.1f %.1f\n", scores[0], scores[1], scores[2])
+	// Output: 0.0 0.5 1.0
+}

@@ -1,0 +1,356 @@
+// Package proxy implements the lightweight transferability scores of the
+// coarse-recall phase. The paper adopts LEEP (Nguyen et al., ICML 2020);
+// NCE and a kNN probe are provided as the alternatives discussed in §VI,
+// and Ensemble combines several scorers (the §VII future-work extension).
+//
+// All scorers consume only frozen-model inference on the target training
+// split — no gradient steps — which is why the framework charges them half
+// a training epoch each (§V.D).
+package proxy
+
+import (
+	"fmt"
+	"math"
+
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+	"twophase/internal/numeric"
+)
+
+// Scorer predicts the post-fine-tuning performance of a model on a target
+// dataset without training. Higher is better; scales differ per scorer, so
+// callers normalize across the scored set (as Eq. 2 prescribes).
+type Scorer interface {
+	// Name identifies the scorer in reports and ablations.
+	Name() string
+	// Score evaluates the model against the dataset's training split.
+	Score(m *modelhub.Model, d *datahub.Dataset) (float64, error)
+}
+
+// MaxExamples caps how many target examples each scorer consumes; the
+// paper notes a few hundred items suffice ("a target dataset with hundreds
+// of data items", §III.A).
+const MaxExamples = 200
+
+// LEEP is the log expected empirical prediction score. It builds the
+// empirical joint distribution P(target label y, source label z) from the
+// source head's soft predictions, forms the conditional P(y|z), and
+// returns the mean log-likelihood of the resulting "expected empirical
+// predictor" on the target data.
+type LEEP struct{}
+
+// Name implements Scorer.
+func (LEEP) Name() string { return "leep" }
+
+// Score implements Scorer.
+func (LEEP) Score(m *modelhub.Model, d *datahub.Dataset) (float64, error) {
+	xs, ys, err := sample(m, d)
+	if err != nil {
+		return 0, err
+	}
+	theta := sourcePredictions(m, xs)
+	return leepFromPredictions(theta, ys, d.Classes, m.SourceClasses), nil
+}
+
+// CalibratedLEEP is LEEP minus its permutation-null baseline: the LEEP the
+// model would score on the same inputs with target labels shuffled. The
+// null term captures how much likelihood the model earns purely from the
+// capacity of its source label space (a 30-way head always builds a richer
+// empirical predictor than a binary one); subtracting it leaves the label
+// information — the transferability signal. This calibration is a
+// necessary adaptation of the paper's plain LEEP to a repository whose
+// source label spaces span 2-50 classes; DESIGN.md §2 records it.
+type CalibratedLEEP struct {
+	// Permutations is the number of label shuffles averaged into the
+	// null term; 0 means 2.
+	Permutations int
+}
+
+// Name implements Scorer.
+func (CalibratedLEEP) Name() string { return "leep-calibrated" }
+
+// Score implements Scorer.
+func (c CalibratedLEEP) Score(m *modelhub.Model, d *datahub.Dataset) (float64, error) {
+	xs, ys, err := sample(m, d)
+	if err != nil {
+		return 0, err
+	}
+	theta := sourcePredictions(m, xs)
+	real := leepFromPredictions(theta, ys, d.Classes, m.SourceClasses)
+
+	perms := c.Permutations
+	if perms <= 0 {
+		perms = 2
+	}
+	shuffled := make([]int, len(ys))
+	copy(shuffled, ys)
+	var null float64
+	for p := 0; p < perms; p++ {
+		rng := numeric.NewNamedRNG(uint64(p), "leep-null", m.Name, d.Name)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		null += leepFromPredictions(theta, shuffled, d.Classes, m.SourceClasses)
+	}
+	return real - null/float64(perms), nil
+}
+
+// sourcePredictions runs the frozen source head over the sampled inputs.
+func sourcePredictions(m *modelhub.Model, xs [][]float64) [][]float64 {
+	theta := make([][]float64, len(xs))
+	for i, x := range xs {
+		theta[i] = m.SourceProbs(m.Features(x))
+	}
+	return theta
+}
+
+// leepFromPredictions computes the LEEP statistic given the source-head
+// distributions theta and target labels ys.
+func leepFromPredictions(theta [][]float64, ys []int, targetK, sourceK int) float64 {
+	n := len(theta)
+	if n == 0 {
+		return math.Inf(-1)
+	}
+	// joint[y][z] = (1/n) sum_i theta_i[z] * 1{y_i = y}
+	joint := numeric.NewMatrix(targetK, sourceK)
+	for i := range theta {
+		row := joint.Row(ys[i])
+		for z, p := range theta[i] {
+			row[z] += p / float64(n)
+		}
+	}
+	// marginal over z and conditional P(y|z)
+	marginal := make([]float64, sourceK)
+	for y := 0; y < targetK; y++ {
+		for z, p := range joint.Row(y) {
+			marginal[z] += p
+		}
+	}
+	cond := numeric.NewMatrix(targetK, sourceK) // P(y|z)
+	for y := 0; y < targetK; y++ {
+		for z := 0; z < sourceK; z++ {
+			if marginal[z] > 0 {
+				cond.Set(y, z, joint.At(y, z)/marginal[z])
+			}
+		}
+	}
+	// LEEP = (1/n) sum_i log( sum_z P(y_i|z) theta_i[z] )
+	var total float64
+	for i := range theta {
+		var p float64
+		row := cond.Row(ys[i])
+		for z, t := range theta[i] {
+			p += row[z] * t
+		}
+		if p < 1e-300 {
+			p = 1e-300
+		}
+		total += math.Log(p)
+	}
+	return total / float64(n)
+}
+
+// NCE is the negative conditional entropy score (Tran et al., 2019): it
+// hard-assigns each example to its argmax source label z and returns
+// -H(Y|Z) of the empirical joint. Less smooth than LEEP but cheaper.
+type NCE struct{}
+
+// Name implements Scorer.
+func (NCE) Name() string { return "nce" }
+
+// Score implements Scorer.
+func (NCE) Score(m *modelhub.Model, d *datahub.Dataset) (float64, error) {
+	xs, ys, err := sample(m, d)
+	if err != nil {
+		return 0, err
+	}
+	n := len(xs)
+	joint := numeric.NewMatrix(d.Classes, m.SourceClasses)
+	for i, x := range xs {
+		probs := m.SourceProbs(m.Features(x))
+		z := numeric.ArgMax(probs)
+		joint.Set(ys[i], z, joint.At(ys[i], z)+1/float64(n))
+	}
+	marginal := make([]float64, m.SourceClasses)
+	for y := 0; y < d.Classes; y++ {
+		for z, p := range joint.Row(y) {
+			marginal[z] += p
+		}
+	}
+	var nce float64
+	for y := 0; y < d.Classes; y++ {
+		for z, p := range joint.Row(y) {
+			if p > 0 && marginal[z] > 0 {
+				nce += p * math.Log(p/marginal[z])
+			}
+		}
+	}
+	return nce, nil
+}
+
+// KNN scores a model by leave-one-out k-nearest-neighbour accuracy in its
+// feature space (Renggli et al., 2022's probe, §VI). It approximates the
+// accuracy a simple head could reach on the frozen features.
+type KNN struct {
+	// K is the neighbourhood size; 0 means 5.
+	K int
+}
+
+// Name implements Scorer.
+func (k KNN) Name() string { return fmt.Sprintf("knn%d", k.k()) }
+
+func (k KNN) k() int {
+	if k.K <= 0 {
+		return 5
+	}
+	return k.K
+}
+
+// Score implements Scorer.
+func (k KNN) Score(m *modelhub.Model, d *datahub.Dataset) (float64, error) {
+	xs, ys, err := sample(m, d)
+	if err != nil {
+		return 0, err
+	}
+	feats := make([][]float64, len(xs))
+	for i, x := range xs {
+		feats[i] = m.Features(x)
+	}
+	kk := k.k()
+	correct := 0
+	type nb struct {
+		dist  float64
+		label int
+	}
+	for i := range feats {
+		nbs := make([]nb, 0, len(feats)-1)
+		for j := range feats {
+			if j == i {
+				continue
+			}
+			nbs = append(nbs, nb{numeric.EuclideanDistance(feats[i], feats[j]), ys[j]})
+		}
+		// partial selection of the kk nearest
+		for a := 0; a < kk && a < len(nbs); a++ {
+			min := a
+			for b := a + 1; b < len(nbs); b++ {
+				if nbs[b].dist < nbs[min].dist {
+					min = b
+				}
+			}
+			nbs[a], nbs[min] = nbs[min], nbs[a]
+		}
+		votes := make(map[int]int)
+		for a := 0; a < kk && a < len(nbs); a++ {
+			votes[nbs[a].label]++
+		}
+		best, bestN := -1, -1
+		for label, n := range votes {
+			if n > bestN || (n == bestN && label < best) {
+				best, bestN = label, n
+			}
+		}
+		if best == ys[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(feats)), nil
+}
+
+// Ensemble averages the min-max-normalized scores of several scorers — the
+// paper's §VII plan of combining light-weight tasks for robustness. Since
+// normalization needs the whole candidate set, Ensemble scores lazily and
+// callers should use ScoreAll.
+type Ensemble struct {
+	Scorers []Scorer
+}
+
+// Name implements Scorer.
+func (e Ensemble) Name() string { return "ensemble" }
+
+// Score implements Scorer by averaging raw member scores; prefer ScoreAll
+// when a whole candidate set is available so members can be normalized.
+func (e Ensemble) Score(m *modelhub.Model, d *datahub.Dataset) (float64, error) {
+	if len(e.Scorers) == 0 {
+		return 0, fmt.Errorf("proxy: empty ensemble")
+	}
+	var s float64
+	for _, sc := range e.Scorers {
+		v, err := sc.Score(m, d)
+		if err != nil {
+			return 0, err
+		}
+		s += v
+	}
+	return s / float64(len(e.Scorers)), nil
+}
+
+// ScoreAll scores every model and min-max normalizes each member scorer
+// across the set before averaging, returning one value per model.
+func (e Ensemble) ScoreAll(models []*modelhub.Model, d *datahub.Dataset) ([]float64, error) {
+	if len(e.Scorers) == 0 {
+		return nil, fmt.Errorf("proxy: empty ensemble")
+	}
+	out := make([]float64, len(models))
+	for _, sc := range e.Scorers {
+		raw := make([]float64, len(models))
+		for i, m := range models {
+			v, err := sc.Score(m, d)
+			if err != nil {
+				return nil, err
+			}
+			raw[i] = v
+		}
+		for i, v := range Normalize(raw) {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(e.Scorers))
+	}
+	return out, nil
+}
+
+// Normalize min-max rescales scores into [0, 1]. A constant slice maps to
+// all 0.5 (no information either way).
+func Normalize(scores []float64) []float64 {
+	out := make([]float64, len(scores))
+	if len(scores) == 0 {
+		return out
+	}
+	lo, hi := scores[0], scores[0]
+	for _, s := range scores[1:] {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if hi == lo {
+		for i := range out {
+			out[i] = 0.5
+		}
+		return out
+	}
+	for i, s := range scores {
+		out[i] = (s - lo) / (hi - lo)
+	}
+	return out
+}
+
+// sample returns up to MaxExamples (x, y) pairs from the dataset's
+// training split, validating task compatibility.
+func sample(m *modelhub.Model, d *datahub.Dataset) ([][]float64, []int, error) {
+	if m.Task != d.Task {
+		return nil, nil, fmt.Errorf("proxy: model %q task %q does not match dataset %q task %q", m.Name, m.Task, d.Name, d.Task)
+	}
+	n := d.Train.Len()
+	if n == 0 {
+		return nil, nil, fmt.Errorf("proxy: dataset %q has empty training split", d.Name)
+	}
+	if n > MaxExamples {
+		n = MaxExamples
+	}
+	return d.Train.X[:n], d.Train.Y[:n], nil
+}

@@ -1,0 +1,247 @@
+// Package recall implements the coarse-recall phase (§III): cluster the
+// repository by performance vectors, compute the proxy score only for each
+// non-singleton cluster's representative, propagate scores to singleton
+// clusters by model similarity, and return the top-K candidates by
+// recall score (Eq. 2-4).
+package recall
+
+import (
+	"fmt"
+
+	"twophase/internal/cluster"
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+	"twophase/internal/numeric"
+	"twophase/internal/perfmatrix"
+	"twophase/internal/proxy"
+	"twophase/internal/trainer"
+)
+
+// Options configures the coarse-recall phase.
+type Options struct {
+	// K is the number of models to recall; the paper settles on 10
+	// (~25-30% of the repository, §V.B).
+	K int
+	// SimilarityK is the k of Eq. 1's top-k difference similarity;
+	// appendix D selects 5.
+	SimilarityK int
+	// Threshold is the average-linkage cut distance for model clustering.
+	Threshold float64
+	// Scorer is the proxy task; nil means LEEP (§II.A).
+	Scorer proxy.Scorer
+}
+
+// DefaultOptions mirrors the paper's settings.
+func DefaultOptions() Options {
+	return Options{K: 10, SimilarityK: 5, Threshold: 0.08, Scorer: proxy.CalibratedLEEP{}}
+}
+
+func (o *Options) fill() {
+	if o.K <= 0 {
+		o.K = 10
+	}
+	if o.SimilarityK <= 0 {
+		o.SimilarityK = 5
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = 0.08
+	}
+	if o.Scorer == nil {
+		o.Scorer = proxy.CalibratedLEEP{}
+	}
+}
+
+// Result is the outcome of one coarse-recall invocation.
+type Result struct {
+	// Recalled lists the top-K model names, best recall score first.
+	Recalled []string
+	// RecallScores maps every repository model to its Eq. 2/3/4 score.
+	RecallScores map[string]float64
+	// ProxyScores maps every model to the normalized proxy score used in
+	// its recall score (the representative's score for cluster members,
+	// the propagated mixture for singletons).
+	ProxyScores map[string]float64
+	// Clustering is the model clustering over matrix.Models order.
+	Clustering cluster.Clustering
+	// Representatives maps non-singleton cluster id -> representative
+	// model name (the member with the best benchmark average, §III.A).
+	Representatives map[int]string
+	// ScoredModels counts proxy computations, i.e. model loads +
+	// inference passes (charged 0.5 epoch each).
+	ScoredModels int
+}
+
+// CoarseRecall runs the phase against one target dataset. The ledger, if
+// non-nil, is charged 0.5 epoch per proxy computation.
+func CoarseRecall(m *perfmatrix.Matrix, repo *modelhub.Repository, target *datahub.Dataset, opts Options, ledger *trainer.Ledger) (*Result, error) {
+	opts.fill()
+	names := m.Models
+	if len(names) == 0 {
+		return nil, fmt.Errorf("recall: empty performance matrix")
+	}
+
+	vecs := make([][]float64, len(names))
+	avgAcc := make([]float64, len(names))
+	for i, name := range names {
+		v, err := m.Vector(name)
+		if err != nil {
+			return nil, err
+		}
+		vecs[i] = v
+		avgAcc[i] = numeric.Mean(v)
+	}
+
+	dist := cluster.TopKDistance(opts.SimilarityK)
+	clustering := cluster.Agglomerative(vecs, dist, opts.Threshold, 0)
+
+	// Representatives of non-singleton clusters: best benchmark average.
+	reps := make(map[int]string)
+	repIdx := make(map[int]int)
+	for cid, members := range clustering.Groups() {
+		if len(members) < 2 {
+			continue
+		}
+		best := members[0]
+		for _, i := range members[1:] {
+			if avgAcc[i] > avgAcc[best] {
+				best = i
+			}
+		}
+		reps[cid] = names[best]
+		repIdx[cid] = best
+	}
+	if len(reps) == 0 {
+		// Degenerate clustering (all singletons): fall back to scoring
+		// every model directly, which is plain proxy-based recall.
+		for cid, members := range clustering.Groups() {
+			reps[cid] = names[members[0]]
+			repIdx[cid] = members[0]
+		}
+	}
+
+	// Proxy scores for representatives only, then min-max normalization
+	// across the scored set (Eq. 2's [0,1] normalization).
+	cids := make([]int, 0, len(reps))
+	for cid := range reps {
+		cids = append(cids, cid)
+	}
+	// deterministic order
+	for i := 0; i < len(cids); i++ {
+		for j := i + 1; j < len(cids); j++ {
+			if cids[j] < cids[i] {
+				cids[i], cids[j] = cids[j], cids[i]
+			}
+		}
+	}
+	raw := make([]float64, len(cids))
+	for i, cid := range cids {
+		model, err := repo.Get(reps[cid])
+		if err != nil {
+			return nil, err
+		}
+		s, err := opts.Scorer.Score(model, target)
+		if err != nil {
+			return nil, fmt.Errorf("recall: proxy %s on %s: %w", opts.Scorer.Name(), model.Name, err)
+		}
+		raw[i] = s
+	}
+	norm := proxy.Normalize(raw)
+	repProxy := make(map[int]float64, len(cids))
+	for i, cid := range cids {
+		repProxy[cid] = norm[i]
+	}
+	if ledger != nil {
+		ledger.ChargeInference(len(cids))
+	}
+
+	res := &Result{
+		RecallScores:    make(map[string]float64, len(names)),
+		ProxyScores:     make(map[string]float64, len(names)),
+		Clustering:      clustering,
+		Representatives: reps,
+		ScoredModels:    len(cids),
+	}
+
+	groups := clustering.Groups()
+	scores := make([]float64, len(names))
+	for i, name := range names {
+		cid := clustering.Assign[i]
+		var p float64
+		if len(groups[cid]) > 1 {
+			// Eq. 3: member of a non-singleton cluster inherits the
+			// representative's proxy score.
+			p = repProxy[cid]
+		} else if pr, ok := repProxy[cid]; ok {
+			// Degenerate all-singleton fallback scored this cluster
+			// directly.
+			p = pr
+		} else {
+			// Eq. 4: propagate from non-singleton representatives,
+			// decayed by Eq. 1 similarity.
+			var sum float64
+			for _, rc := range cids {
+				rep := repIdx[rc]
+				sim := 1 - dist(vecs[i], vecs[rep])
+				if sim < 0 {
+					sim = 0
+				}
+				sum += sim * repProxy[rc]
+			}
+			p = sum / float64(len(cids))
+		}
+		res.ProxyScores[name] = p
+		scores[i] = avgAcc[i] * p
+		res.RecallScores[name] = scores[i]
+	}
+
+	order := numeric.ArgSortDesc(scores)
+	k := opts.K
+	if k > len(order) {
+		k = len(order)
+	}
+	for _, i := range order[:k] {
+		res.Recalled = append(res.Recalled, names[i])
+	}
+	return res, nil
+}
+
+// RandomRecall returns K models drawn uniformly without replacement — the
+// baseline of Fig. 5.
+func RandomRecall(m *perfmatrix.Matrix, k int, rng *numeric.RNG) []string {
+	names := m.Models
+	if k > len(names) {
+		k = len(names)
+	}
+	perm := rng.Perm(len(names))
+	out := make([]string, 0, k)
+	for _, i := range perm[:k] {
+		out = append(out, names[i])
+	}
+	return out
+}
+
+// BruteForceScores computes the proxy score for every model directly (no
+// clustering) — the ablation baseline for representative-only scoring.
+func BruteForceScores(repo *modelhub.Repository, target *datahub.Dataset, scorer proxy.Scorer, ledger *trainer.Ledger) (map[string]float64, error) {
+	if scorer == nil {
+		scorer = proxy.LEEP{}
+	}
+	models := repo.Models()
+	raw := make([]float64, len(models))
+	for i, model := range models {
+		s, err := scorer.Score(model, target)
+		if err != nil {
+			return nil, err
+		}
+		raw[i] = s
+	}
+	if ledger != nil {
+		ledger.ChargeInference(len(models))
+	}
+	norm := proxy.Normalize(raw)
+	out := make(map[string]float64, len(models))
+	for i, model := range models {
+		out[model.Name] = norm[i]
+	}
+	return out, nil
+}

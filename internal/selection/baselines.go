@@ -1,0 +1,193 @@
+// Package selection implements the fine-selection phase (§IV) and its
+// baselines: brute-force search, successive halving, convergence-trend
+// mining over the offline matrix (Eq. 5/6), and the paper's fine-selection
+// refinement (Algorithm 1).
+//
+// All procedures account their cost in training epochs through a
+// trainer.Ledger and select strictly on validation accuracy; held-out test
+// accuracy is only read to *report* the quality of the finished choice.
+package selection
+
+import (
+	"fmt"
+
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+	"twophase/internal/numeric"
+	"twophase/internal/trainer"
+)
+
+// Config fixes the training setup shared by all selection procedures.
+type Config struct {
+	// HP is the fine-tuning hyperparameter set (epoch budget included).
+	HP trainer.Hyperparams
+	// Seed is the world seed for run streams.
+	Seed uint64
+	// Salt separates selection procedures that would otherwise share
+	// run streams (e.g. SH vs FS over the same models).
+	Salt string
+	// StageEpochs is Algorithm 1's validation interval s: how many
+	// epochs each surviving model trains between filtering decisions.
+	// 0 means 1, the paper's evaluation setting.
+	StageEpochs int
+}
+
+// stageEpochs returns the effective validation interval.
+func (c Config) stageEpochs() int {
+	if c.StageEpochs <= 0 {
+		return 1
+	}
+	return c.StageEpochs
+}
+
+// stagePlan splits the total epoch budget into stages of s epochs (the
+// last stage absorbs the remainder).
+func (c Config) stagePlan() []int {
+	s := c.stageEpochs()
+	var plan []int
+	for remaining := c.HP.Epochs; remaining > 0; remaining -= s {
+		if remaining < s {
+			plan = append(plan, remaining)
+			break
+		}
+		plan = append(plan, s)
+	}
+	return plan
+}
+
+// Outcome reports a finished selection.
+type Outcome struct {
+	// Winner is the selected model's name.
+	Winner string
+	// WinnerVal is the winner's final validation accuracy.
+	WinnerVal float64
+	// WinnerTest is the winner's held-out test accuracy after full
+	// training (the number the paper's Fig. 7 / Table VI report).
+	WinnerTest float64
+	// Ledger is the accumulated epoch cost.
+	Ledger trainer.Ledger
+	// Stages records the model names still in play at the start of each
+	// training stage (diagnostics; stage 0 is the initial pool).
+	Stages [][]string
+}
+
+func newRuns(models []*modelhub.Model, d *datahub.Dataset, cfg Config) (map[string]*trainer.Run, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("selection: empty model pool")
+	}
+	runs := make(map[string]*trainer.Run, len(models))
+	for _, m := range models {
+		if _, dup := runs[m.Name]; dup {
+			return nil, fmt.Errorf("selection: duplicate model %q", m.Name)
+		}
+		run, err := trainer.NewRun(m, d, cfg.HP, cfg.Seed, cfg.Salt)
+		if err != nil {
+			return nil, err
+		}
+		runs[m.Name] = run
+	}
+	return runs, nil
+}
+
+// BruteForce fine-tunes every model for the full epoch budget and selects
+// the best final validation accuracy. Cost: |M| * Epochs.
+func BruteForce(models []*modelhub.Model, d *datahub.Dataset, cfg Config) (*Outcome, error) {
+	runs, err := newRuns(models, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{Stages: [][]string{names(models)}}
+	bestVal := -1.0
+	for _, m := range models {
+		run := runs[m.Name]
+		for e := 0; e < cfg.HP.Epochs; e++ {
+			run.TrainEpoch()
+			out.Ledger.ChargeEpochs(1)
+		}
+		if v := run.Curve().FinalVal(); v > bestVal {
+			bestVal = v
+			out.Winner = m.Name
+			out.WinnerVal = v
+			out.WinnerTest = run.TestAccuracy()
+		}
+	}
+	return out, nil
+}
+
+// SuccessiveHalving trains every surviving model one epoch per stage and
+// keeps the top half by validation accuracy (Jamieson & Talwalkar 2016,
+// the paper's SH baseline). Ties keep the earlier model in pool order so
+// results are deterministic.
+func SuccessiveHalving(models []*modelhub.Model, d *datahub.Dataset, cfg Config) (*Outcome, error) {
+	runs, err := newRuns(models, d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	pool := names(models)
+	out := &Outcome{}
+	for _, stageLen := range cfg.stagePlan() {
+		out.Stages = append(out.Stages, append([]string(nil), pool...))
+		vals := make([]float64, len(pool))
+		for i, name := range pool {
+			for e := 0; e < stageLen; e++ {
+				vals[i] = runs[name].TrainEpoch()
+				out.Ledger.ChargeEpochs(1)
+			}
+		}
+		if len(pool) > 1 {
+			keep := len(pool) / 2
+			if keep < 1 {
+				keep = 1
+			}
+			order := numeric.ArgSortDesc(vals)
+			next := make([]string, 0, keep)
+			for _, i := range order[:keep] {
+				next = append(next, pool[i])
+			}
+			pool = sortByOriginal(next, names(models))
+		}
+	}
+	return finish(out, pool, runs)
+}
+
+// finish picks the best-validation survivor and fills the outcome.
+func finish(out *Outcome, pool []string, runs map[string]*trainer.Run) (*Outcome, error) {
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("selection: no survivors")
+	}
+	bestVal := -1.0
+	for _, name := range pool {
+		if v := runs[name].Curve().FinalVal(); v > bestVal {
+			bestVal = v
+			out.Winner = name
+			out.WinnerVal = v
+			out.WinnerTest = runs[name].TestAccuracy()
+		}
+	}
+	return out, nil
+}
+
+func names(models []*modelhub.Model) []string {
+	out := make([]string, len(models))
+	for i, m := range models {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// sortByOriginal reorders subset to the order its elements appear in ref.
+func sortByOriginal(subset, ref []string) []string {
+	pos := make(map[string]int, len(ref))
+	for i, n := range ref {
+		pos[n] = i
+	}
+	out := append([]string(nil), subset...)
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if pos[out[j]] < pos[out[i]] {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}

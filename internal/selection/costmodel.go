@@ -1,0 +1,99 @@
+package selection
+
+// Cost model for selection strategies, after the Shift system the paper
+// cites in §VI ("builds cost model to predict the training cost of
+// successive halving and fine-tuning directly"). All predictions are in
+// training epochs and depend only on the pool size and epoch budget, so a
+// planner can choose a strategy before spending any compute.
+
+// PredictBruteForceEpochs returns the exact cost of fine-tuning every
+// model to the full budget.
+func PredictBruteForceEpochs(pool, budget int) int {
+	if pool <= 0 || budget <= 0 {
+		return 0
+	}
+	return pool * budget
+}
+
+// PredictSHEpochs returns the exact cost of successive halving at
+// validation interval s (0 means 1): the pool halves after every stage
+// until one model remains, which trains out the rest of the budget.
+func PredictSHEpochs(pool, budget, s int) int {
+	if pool <= 0 || budget <= 0 {
+		return 0
+	}
+	if s <= 0 {
+		s = 1
+	}
+	total := 0
+	remaining := budget
+	n := pool
+	for remaining > 0 {
+		stage := s
+		if stage > remaining {
+			stage = remaining
+		}
+		total += n * stage
+		remaining -= stage
+		if n > 1 {
+			n = n / 2
+			if n < 1 {
+				n = 1
+			}
+		}
+	}
+	return total
+}
+
+// PredictFSEpochsRange bounds the cost of fine-selection: the lower bound
+// assumes the trend filter cuts to one model after the first stage; the
+// upper bound is plain successive halving (the filter never fires).
+func PredictFSEpochsRange(pool, budget, s int) (lo, hi int) {
+	if pool <= 0 || budget <= 0 {
+		return 0, 0
+	}
+	if s <= 0 {
+		s = 1
+	}
+	first := s
+	if first > budget {
+		first = budget
+	}
+	lo = pool*first + (budget - first)
+	hi = PredictSHEpochs(pool, budget, s)
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
+}
+
+// Strategy identifies a selection procedure for the planner.
+type Strategy string
+
+// The planner's strategy space.
+const (
+	StrategyBruteForce        Strategy = "brute-force"
+	StrategySuccessiveHalving Strategy = "successive-halving"
+	StrategyFineSelection     Strategy = "fine-selection"
+)
+
+// CheapestStrategy returns the strategy with the lowest predicted cost
+// for the pool. Fine-selection is costed at the midpoint of its range and
+// requires an offline matrix (hasMatrix); without one it is unavailable
+// and the choice falls to SH vs BF.
+func CheapestStrategy(pool, budget, s int, hasMatrix bool) (Strategy, int) {
+	bf := PredictBruteForceEpochs(pool, budget)
+	sh := PredictSHEpochs(pool, budget, s)
+	best, cost := StrategyBruteForce, bf
+	if sh < cost {
+		best, cost = StrategySuccessiveHalving, sh
+	}
+	if hasMatrix {
+		lo, hi := PredictFSEpochsRange(pool, budget, s)
+		mid := (lo + hi) / 2
+		if mid < cost {
+			best, cost = StrategyFineSelection, mid
+		}
+	}
+	return best, cost
+}

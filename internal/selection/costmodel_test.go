@@ -1,0 +1,96 @@
+package selection
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPredictSHEpochsMatchesPaper(t *testing.T) {
+	// The paper's Table V: 10 models x 5 epochs = 19; 40 x 5 = 77;
+	// 10 x 4 = 18; 30 x 4 = 55.
+	cases := []struct{ pool, budget, want int }{
+		{10, 5, 19},
+		{40, 5, 77},
+		{10, 4, 18},
+		{30, 4, 55},
+	}
+	for _, c := range cases {
+		if got := PredictSHEpochs(c.pool, c.budget, 1); got != c.want {
+			t.Fatalf("SH(%d,%d) = %d, want %d", c.pool, c.budget, got, c.want)
+		}
+	}
+}
+
+func TestPredictBruteForce(t *testing.T) {
+	if PredictBruteForceEpochs(40, 5) != 200 {
+		t.Fatal("BF(40,5) != 200")
+	}
+	if PredictBruteForceEpochs(0, 5) != 0 || PredictBruteForceEpochs(5, 0) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestCostOrderingProperty(t *testing.T) {
+	f := func(pool, budget, s uint8) bool {
+		p := int(pool%50) + 1
+		b := int(budget%8) + 1
+		ss := int(s%3) + 1
+		bf := PredictBruteForceEpochs(p, b)
+		sh := PredictSHEpochs(p, b, ss)
+		lo, hi := PredictFSEpochsRange(p, b, ss)
+		return lo <= hi && hi <= sh && sh <= bf && lo >= b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictSHMatchesActual(t *testing.T) {
+	// The cost model must agree with the real procedure.
+	models, _, target, cfg := fixture(t)
+	for _, s := range []int{1, 2} {
+		cfg.StageEpochs = s
+		out, err := SuccessiveHalving(models, target, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := PredictSHEpochs(len(models), cfg.HP.Epochs, s)
+		if out.Ledger.TrainEpochs() != want {
+			t.Fatalf("s=%d: actual %d != predicted %d", s, out.Ledger.TrainEpochs(), want)
+		}
+	}
+}
+
+func TestPredictFSBoundsActual(t *testing.T) {
+	models, m, target, cfg := fixture(t)
+	out, err := FineSelect(models, target, FineSelectOptions{Config: cfg, Matrix: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := PredictFSEpochsRange(len(models), cfg.HP.Epochs, 1)
+	got := out.Ledger.TrainEpochs()
+	if got < lo || got > hi {
+		t.Fatalf("actual FS cost %d outside predicted [%d, %d]", got, lo, hi)
+	}
+}
+
+func TestCheapestStrategy(t *testing.T) {
+	// With a matrix, fine-selection should win at any non-trivial pool.
+	s, cost := CheapestStrategy(10, 5, 1, true)
+	if s != StrategyFineSelection {
+		t.Fatalf("chose %s", s)
+	}
+	if cost <= 0 {
+		t.Fatal("non-positive cost")
+	}
+	// Without a matrix, SH beats BF for pools > 1.
+	s, _ = CheapestStrategy(10, 5, 1, false)
+	if s != StrategySuccessiveHalving {
+		t.Fatalf("chose %s without matrix", s)
+	}
+	// A single model: everything costs the same; BF is fine.
+	_, cost = CheapestStrategy(1, 5, 1, false)
+	if cost != 5 {
+		t.Fatalf("single-model cost %d", cost)
+	}
+}

@@ -1,0 +1,135 @@
+package selection
+
+import (
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+	"twophase/internal/numeric"
+	"twophase/internal/perfmatrix"
+)
+
+// FineSelectOptions extends Config with the convergence-trend machinery of
+// Algorithm 1.
+type FineSelectOptions struct {
+	Config
+	// Matrix supplies the offline convergence records mined into trends.
+	Matrix *perfmatrix.Matrix
+	// TrendClusters is c of §IV.C (0 means DefaultTrendClusters).
+	TrendClusters int
+	// Threshold is the filtering threshold of Table IV: a model is only
+	// trend-filtered when a better-validation competitor's predicted
+	// final performance exceeds the model's own prediction by more than
+	// Threshold (as a proportion of the model's prediction). 0 is the
+	// paper's default setting.
+	Threshold float64
+	// DisableTrendFilter turns Algorithm 1's fine-filter step off,
+	// reducing the procedure to successive halving; used by the
+	// ablation benchmark.
+	DisableTrendFilter bool
+}
+
+// FineSelect runs Algorithm 1: staged training with convergence-trend
+// prediction (Eq. 5/6), trend-based fine-filtering, and a halving
+// backstop, returning a single fully trained model.
+func FineSelect(models []*modelhub.Model, d *datahub.Dataset, opts FineSelectOptions) (*Outcome, error) {
+	runs, err := newRuns(models, d, opts.Config)
+	if err != nil {
+		return nil, err
+	}
+	pool := names(models)
+	out := &Outcome{}
+
+	completed := 0
+	for _, stageLen := range opts.stagePlan() {
+		out.Stages = append(out.Stages, append([]string(nil), pool...))
+		vals := make([]float64, len(pool))
+		for i, name := range pool {
+			for e := 0; e < stageLen; e++ {
+				vals[i] = runs[name].TrainEpoch()
+				out.Ledger.ChargeEpochs(1)
+			}
+		}
+		completed += stageLen
+		// stage is the offline-curve epoch index matching the validation
+		// accuracy just measured, for trend lookup.
+		stage := completed - 1
+		if len(pool) == 1 {
+			continue
+		}
+
+		keepMask := make([]bool, len(pool))
+		for i := range keepMask {
+			keepMask[i] = true
+		}
+
+		if !opts.DisableTrendFilter && opts.Matrix != nil {
+			// Predict each survivor's final performance by matching its
+			// current validation accuracy against the model's mined
+			// convergence trends at this stage (Eq. 5/6).
+			preds := make([]float64, len(pool))
+			for i, name := range pool {
+				p, err := PredictFinal(opts.Matrix, name, stage, vals[i], opts.TrendClusters)
+				if err != nil {
+					return nil, err
+				}
+				preds[i] = p
+			}
+			// Fine-filter: walk models from worst validation upward and
+			// drop one when some better-validation model's prediction
+			// beats its own by more than the threshold proportion.
+			order := numeric.ArgSortAsc(vals)
+			for oi, i := range order {
+				dominated := false
+				for _, j := range order[oi+1:] {
+					if !keepMask[j] || vals[j] <= vals[i] {
+						continue
+					}
+					margin := opts.Threshold * preds[i]
+					if preds[j]-preds[i] > margin {
+						dominated = true
+						break
+					}
+				}
+				if dominated && remaining(keepMask) > 1 {
+					keepMask[i] = false
+				}
+			}
+		}
+
+		// Halving backstop: never keep more than floor(|Mt|/2) models
+		// (Algorithm 1 lines 8-10).
+		limit := len(pool) / 2
+		if limit < 1 {
+			limit = 1
+		}
+		if remaining(keepMask) > limit {
+			order := numeric.ArgSortAsc(vals)
+			for _, i := range order {
+				if remaining(keepMask) <= limit {
+					break
+				}
+				if keepMask[i] {
+					keepMask[i] = false
+				}
+			}
+		}
+
+		next := pool[:0:0]
+		for i, keep := range keepMask {
+			if keep {
+				next = append(next, pool[i])
+			}
+		}
+		pool = next
+	}
+	return finish(out, pool, runs)
+}
+
+func remaining(mask []bool) int {
+	n := 0
+	for _, m := range mask {
+		if m {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,165 @@
+package selection
+
+import (
+	"math"
+	"testing"
+
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+	"twophase/internal/perfmatrix"
+	"twophase/internal/synth"
+	"twophase/internal/trainer"
+)
+
+func trendFixture(t *testing.T) *perfmatrix.Matrix {
+	t.Helper()
+	w := synth.NewWorld(42)
+	repo, err := modelhub.NewRepository(w, datahub.TaskNLP, modelhub.NLPSpecs()[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var benches []*datahub.Dataset
+	for _, spec := range datahub.NLPBenchmarks()[:8] {
+		d, err := datahub.Generate(w, spec, datahub.Sizes{Train: 60, Val: 40, Test: 60})
+		if err != nil {
+			t.Fatal(err)
+		}
+		benches = append(benches, d)
+	}
+	m, err := perfmatrix.Build(repo, benches, trainer.Default(datahub.TaskNLP), w.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTrendsAtStage(t *testing.T) {
+	m := trendFixture(t)
+	trends, err := TrendsAtStage(m, m.Models[0], 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trends) == 0 || len(trends) > 3 {
+		t.Fatalf("trend count %d", len(trends))
+	}
+	total := 0
+	for i, tr := range trends {
+		total += len(tr.Members)
+		if i > 0 && trends[i-1].Val > tr.Val {
+			t.Fatal("trends not sorted by val")
+		}
+		if tr.Val < 0 || tr.Val > 1 || tr.Test < 0 || tr.Test > 1 {
+			t.Fatalf("trend stats out of range: %+v", tr)
+		}
+	}
+	if total != len(m.Datasets) {
+		t.Fatalf("trends cover %d datasets, want %d", total, len(m.Datasets))
+	}
+}
+
+func TestTrendsStageOutOfRange(t *testing.T) {
+	m := trendFixture(t)
+	if _, err := TrendsAtStage(m, m.Models[0], 99, 3); err == nil {
+		t.Fatal("stage out of range accepted")
+	}
+	if _, err := TrendsAtStage(m, "missing", 0, 3); err == nil {
+		t.Fatal("missing model accepted")
+	}
+}
+
+func TestMatchTrend(t *testing.T) {
+	trends := []Trend{{Val: 0.3, Test: 0.4}, {Val: 0.6, Test: 0.7}, {Val: 0.9, Test: 0.95}}
+	if got := MatchTrend(trends, 0.58); got != 1 {
+		t.Fatalf("matched %d", got)
+	}
+	if got := MatchTrend(trends, 0.0); got != 0 {
+		t.Fatalf("matched %d", got)
+	}
+	if got := MatchTrend(trends, 1.0); got != 2 {
+		t.Fatalf("matched %d", got)
+	}
+	if MatchTrend(nil, 0.5) != -1 {
+		t.Fatal("empty trends should return -1")
+	}
+}
+
+func TestPredictFinalInRange(t *testing.T) {
+	m := trendFixture(t)
+	p, err := PredictFinal(m, m.Models[0], 0, 0.7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0 || p > 1 {
+		t.Fatalf("prediction %v", p)
+	}
+}
+
+func TestKMeans1DOrderedLabels(t *testing.T) {
+	points := []float64{0.9, 0.1, 0.5, 0.11, 0.91, 0.52}
+	assign := kmeans1D(points, 3)
+	// labels must be ordered by value: low values get label 0
+	for i, p := range points {
+		for j, q := range points {
+			if p < q && assign[i] > assign[j] {
+				t.Fatalf("label order violated: %v->%d, %v->%d", p, assign[i], q, assign[j])
+			}
+		}
+	}
+	// natural groups must be recovered
+	if assign[1] != assign[3] || assign[2] != assign[5] || assign[0] != assign[4] {
+		t.Fatalf("1-D clusters wrong: %v", assign)
+	}
+}
+
+func TestKMeans1DEdgeCases(t *testing.T) {
+	if got := kmeans1D(nil, 3); got != nil {
+		t.Fatal("nil input")
+	}
+	got := kmeans1D([]float64{0.5}, 4)
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("single point %v", got)
+	}
+	// identical points collapse into one cluster
+	same := kmeans1D([]float64{0.5, 0.5, 0.5}, 2)
+	for _, a := range same {
+		if a != same[0] {
+			t.Fatal("identical points split across clusters")
+		}
+	}
+}
+
+func TestKMeans1DDeterministic(t *testing.T) {
+	points := []float64{0.2, 0.8, 0.5, 0.21, 0.79}
+	a := kmeans1D(points, 2)
+	b := kmeans1D(points, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("kmeans1D not deterministic")
+		}
+	}
+}
+
+func TestTrendPredictionTracksReality(t *testing.T) {
+	// On the offline matrix itself, matching a benchmark's first-epoch
+	// validation should predict its final test within a loose tolerance
+	// (the paper's Fig. 6 claim).
+	m := trendFixture(t)
+	model := m.Models[0]
+	vals, finals, err := m.ValCurves(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worse int
+	for i := range vals {
+		pred, err := PredictFinal(m, model, 0, vals[i][0], DefaultTrendClusters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pred-finals[i]) > 0.25 {
+			worse++
+		}
+	}
+	if worse > len(vals)/2 {
+		t.Fatalf("trend prediction off by >0.25 for %d/%d benchmarks", worse, len(vals))
+	}
+}

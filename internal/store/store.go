@@ -1,0 +1,184 @@
+// Package store implements the paper's §VII future-work direction: a small
+// data-management layer that persists and serves the framework's artifacts
+// — model specs, dataset specs, performance matrices and clusterings — so
+// that the offline phase is computed once and reused across processes
+// ("build data management system which stores and maintains the
+// pre-trained models and datasets").
+//
+// The store is a directory of JSON documents with an in-memory index; it
+// is safe for concurrent readers and single-writer use.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+	"twophase/internal/perfmatrix"
+)
+
+// Store is a directory-backed artifact store.
+type Store struct {
+	dir string
+	mu  sync.RWMutex
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"models", "datasets", "matrices"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: create %s: %w", sub, err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// slug converts an artifact name (possibly containing "/") into a file
+// name.
+func slug(name string) string {
+	r := strings.NewReplacer("/", "__", " ", "_")
+	return r.Replace(name) + ".json"
+}
+
+func (s *Store) write(kind, name string, v interface{}) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: marshal %s/%s: %w", kind, name, err)
+	}
+	path := filepath.Join(s.dir, kind, slug(name))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("store: write %s: %w", tmp, err)
+	}
+	return os.Rename(tmp, path)
+}
+
+func (s *Store) read(kind, name string, v interface{}) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, err := os.ReadFile(filepath.Join(s.dir, kind, slug(name)))
+	if err != nil {
+		return fmt.Errorf("store: read %s/%s: %w", kind, name, err)
+	}
+	return json.Unmarshal(data, v)
+}
+
+func (s *Store) list(kind string) ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	entries, err := os.ReadDir(filepath.Join(s.dir, kind))
+	if err != nil {
+		return nil, fmt.Errorf("store: list %s: %w", kind, err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if !strings.HasSuffix(n, ".json") {
+			continue
+		}
+		n = strings.TrimSuffix(n, ".json")
+		names = append(names, strings.ReplaceAll(n, "__", "/"))
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// PutModel persists a model spec.
+func (s *Store) PutModel(spec modelhub.Spec) error { return s.write("models", spec.Name, spec) }
+
+// GetModel retrieves a model spec by name.
+func (s *Store) GetModel(name string) (modelhub.Spec, error) {
+	var spec modelhub.Spec
+	err := s.read("models", name, &spec)
+	return spec, err
+}
+
+// ListModels returns all stored model names, sorted.
+func (s *Store) ListModels() ([]string, error) { return s.list("models") }
+
+// QueryModels returns the stored model specs matching all non-zero filter
+// fields: task, architecture and a minimum capability.
+func (s *Store) QueryModels(task, arch string, minCapability float64) ([]modelhub.Spec, error) {
+	names, err := s.ListModels()
+	if err != nil {
+		return nil, err
+	}
+	var out []modelhub.Spec
+	for _, n := range names {
+		spec, err := s.GetModel(n)
+		if err != nil {
+			return nil, err
+		}
+		if task != "" && spec.Task != task {
+			continue
+		}
+		if arch != "" && spec.Arch != arch {
+			continue
+		}
+		if spec.Capability < minCapability {
+			continue
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}
+
+// PutDataset persists a dataset spec.
+func (s *Store) PutDataset(spec datahub.Spec) error { return s.write("datasets", spec.Name, spec) }
+
+// GetDataset retrieves a dataset spec by name.
+func (s *Store) GetDataset(name string) (datahub.Spec, error) {
+	var spec datahub.Spec
+	err := s.read("datasets", name, &spec)
+	return spec, err
+}
+
+// ListDatasets returns all stored dataset names, sorted.
+func (s *Store) ListDatasets() ([]string, error) { return s.list("datasets") }
+
+// PutMatrix persists a performance matrix under a name (e.g. "nlp").
+func (s *Store) PutMatrix(name string, m *perfmatrix.Matrix) error {
+	return s.write("matrices", name, m)
+}
+
+// GetMatrix retrieves a performance matrix by name.
+func (s *Store) GetMatrix(name string) (*perfmatrix.Matrix, error) {
+	var m perfmatrix.Matrix
+	if err := s.read("matrices", name, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// ListMatrices returns all stored matrix names, sorted.
+func (s *Store) ListMatrices() ([]string, error) { return s.list("matrices") }
+
+// SaveRepository persists every spec of a repository.
+func (s *Store) SaveRepository(specs []modelhub.Spec) error {
+	for _, spec := range specs {
+		if err := s.PutModel(spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveCatalogSpecs persists every dataset spec group.
+func (s *Store) SaveCatalogSpecs(groups ...[]datahub.Spec) error {
+	for _, g := range groups {
+		for _, spec := range g {
+			if err := s.PutDataset(spec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+package store
+
+import (
+	"testing"
+
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+	"twophase/internal/perfmatrix"
+	"twophase/internal/synth"
+	"twophase/internal/trainer"
+)
+
+func openTemp(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestModelRoundtrip(t *testing.T) {
+	s := openTemp(t)
+	spec := modelhub.NLPSpecs()[0]
+	if err := s.PutModel(spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetModel(spec.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != spec.Name || got.Capability != spec.Capability || got.Arch != spec.Arch {
+		t.Fatalf("roundtrip lost fields: %+v", got)
+	}
+}
+
+func TestSlashNamesSurvive(t *testing.T) {
+	s := openTemp(t)
+	spec := modelhub.Spec{Name: "org/sub/model-v2", Task: "nlp", Arch: "bert",
+		Params: 1, Capability: 0.5, SourceClasses: 2}
+	if err := s.PutModel(spec); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.ListModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "org/sub/model-v2" {
+		t.Fatalf("names = %v", names)
+	}
+	if _, err := s.GetModel("org/sub/model-v2"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := openTemp(t)
+	if _, err := s.GetModel("nope"); err == nil {
+		t.Fatal("missing model accepted")
+	}
+	if _, err := s.GetDataset("nope"); err == nil {
+		t.Fatal("missing dataset accepted")
+	}
+	if _, err := s.GetMatrix("nope"); err == nil {
+		t.Fatal("missing matrix accepted")
+	}
+}
+
+func TestQueryModels(t *testing.T) {
+	s := openTemp(t)
+	if err := s.SaveRepository(modelhub.NLPSpecs()); err != nil {
+		t.Fatal(err)
+	}
+	berts, err := s.QueryModels("nlp", "bert", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(berts) == 0 {
+		t.Fatal("no berts found")
+	}
+	for _, m := range berts {
+		if m.Arch != "bert" {
+			t.Fatalf("query leaked arch %q", m.Arch)
+		}
+	}
+	strong, err := s.QueryModels("nlp", "", 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range strong {
+		if m.Capability < 0.7 {
+			t.Fatalf("query leaked capability %v", m.Capability)
+		}
+	}
+	cv, err := s.QueryModels("cv", "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv) != 0 {
+		t.Fatal("cv query should be empty")
+	}
+}
+
+func TestDatasetRoundtrip(t *testing.T) {
+	s := openTemp(t)
+	if err := s.SaveCatalogSpecs(datahub.NLPBenchmarks(), datahub.NLPTargets()); err != nil {
+		t.Fatal(err)
+	}
+	names, err := s.ListDatasets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 28 {
+		t.Fatalf("stored %d datasets", len(names))
+	}
+	spec, err := s.GetDataset("glue/cola")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Classes != 2 || !spec.Benchmark {
+		t.Fatalf("roundtrip spec %+v", spec)
+	}
+}
+
+func TestMatrixRoundtrip(t *testing.T) {
+	s := openTemp(t)
+	w := synth.NewWorld(42)
+	repo, err := modelhub.NewRepository(w, datahub.TaskNLP, modelhub.NLPSpecs()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var benches []*datahub.Dataset
+	for _, spec := range datahub.NLPBenchmarks()[:2] {
+		d, err := datahub.Generate(w, spec, datahub.Sizes{Train: 30, Val: 20, Test: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		benches = append(benches, d)
+	}
+	m, err := perfmatrix.Build(repo, benches, trainer.Default(datahub.TaskNLP), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutMatrix("nlp", m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetMatrix("nlp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.Perf(m.Models[0], m.Datasets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := got.Perf(m.Models[0], m.Datasets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("matrix changed across store roundtrip")
+	}
+	mats, err := s.ListMatrices()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mats) != 1 || mats[0] != "nlp" {
+		t.Fatalf("matrices = %v", mats)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := openTemp(t)
+	spec := modelhub.NLPSpecs()[0]
+	if err := s.PutModel(spec); err != nil {
+		t.Fatal(err)
+	}
+	spec.Capability = 0.99
+	if err := s.PutModel(spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetModel(spec.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Capability != 0.99 {
+		t.Fatal("overwrite did not take")
+	}
+	names, err := s.ListModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatal("overwrite duplicated entry")
+	}
+}

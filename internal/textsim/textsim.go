@@ -1,0 +1,77 @@
+// Package textsim implements the text-based model-similarity baseline of
+// Table I: embed each model card into a vector and compare cards by cosine
+// similarity. The paper uses SBERT; offline and stdlib-only, we substitute
+// a deterministic hashed bag-of-words embedding, which preserves the only
+// property the comparison needs — cards with shared vocabulary land close
+// together, regardless of whether the models behave alike.
+package textsim
+
+import (
+	"hash/fnv"
+	"math"
+	"strings"
+)
+
+// Dim is the embedding dimensionality.
+const Dim = 64
+
+// Embed maps text to a unit-norm hashed bag-of-words vector. Tokens are
+// lowercase alphanumeric runs; each token adds a signed hashed one-hot
+// (the classic "hashing trick" with a sign hash to reduce collisions' bias).
+func Embed(text string) []float64 {
+	v := make([]float64, Dim)
+	for _, tok := range Tokenize(text) {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(tok))
+		sum := h.Sum64()
+		idx := int(sum % Dim)
+		sign := 1.0
+		if (sum>>32)&1 == 1 {
+			sign = -1.0
+		}
+		v[idx] += sign
+	}
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for i := range v {
+			v[i] /= norm
+		}
+	}
+	return v
+}
+
+// Tokenize splits text into lowercase alphanumeric tokens.
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Similarity returns the cosine similarity of two embedded cards.
+func Similarity(cardA, cardB string) float64 {
+	a, b := Embed(cardA), Embed(cardB)
+	var dot float64
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	return dot
+}

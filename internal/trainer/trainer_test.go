@@ -1,0 +1,270 @@
+package trainer
+
+import (
+	"testing"
+
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+	"twophase/internal/synth"
+)
+
+func fixture(t *testing.T) (*synth.World, *modelhub.Model, *datahub.Dataset) {
+	t.Helper()
+	w := synth.NewWorld(42)
+	m, err := modelhub.Materialize(w, modelhub.Spec{
+		Name: "trainer/model", Task: datahub.TaskNLP, Arch: "bert", Params: 110,
+		Domains:    map[string]float64{datahub.DomainNLI: 1},
+		Capability: 0.7, SourceClasses: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := datahub.Generate(w, datahub.Spec{
+		Name: "trainer/ds", Task: datahub.TaskNLP,
+		Domains: map[string]float64{datahub.DomainNLI: 1},
+		Classes: 3, Separability: 2, Noise: 1.6,
+	}, datahub.Sizes{Train: 200, Val: 100, Test: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, m, d
+}
+
+func TestDefaultHyperparams(t *testing.T) {
+	if hp := Default(datahub.TaskNLP); hp.Epochs != 5 {
+		t.Fatalf("NLP epochs %d, paper trains 5", hp.Epochs)
+	}
+	if hp := Default(datahub.TaskCV); hp.Epochs != 4 {
+		t.Fatalf("CV epochs %d, paper trains 4", hp.Epochs)
+	}
+	if lo, hi := LowLR(datahub.TaskNLP).LearningRate, Default(datahub.TaskNLP).LearningRate; lo >= hi {
+		t.Fatalf("LowLR %v not below default %v", lo, hi)
+	}
+}
+
+func TestNewRunValidation(t *testing.T) {
+	_, m, d := fixture(t)
+	if _, err := NewRun(m, d, Hyperparams{}, 42, ""); err == nil {
+		t.Fatal("zero hyperparams accepted")
+	}
+	w := synth.NewWorld(42)
+	cvModel, err := modelhub.Materialize(w, modelhub.Spec{
+		Name: "trainer/cv", Task: datahub.TaskCV, Arch: "vit", Params: 86,
+		Capability: 0.5, SourceClasses: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRun(cvModel, d, Default(datahub.TaskCV), 42, ""); err == nil {
+		t.Fatal("task mismatch accepted")
+	}
+}
+
+func TestTrainingLearns(t *testing.T) {
+	w, m, d := fixture(t)
+	run, err := NewRun(m, d, Default(datahub.TaskNLP), w.Seed, "learn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := run.ValAccuracy()
+	for e := 0; e < 5; e++ {
+		run.TrainEpoch()
+	}
+	after := run.Curve().FinalVal()
+	maj := datahub.MajorityBaseline(d.Val)
+	if after <= maj {
+		t.Fatalf("trained val %v not above majority %v", after, maj)
+	}
+	if after <= before {
+		t.Fatalf("val did not improve: %v -> %v", before, after)
+	}
+}
+
+func TestCurveShape(t *testing.T) {
+	w, m, d := fixture(t)
+	curve, err := FineTune(m, d, Default(datahub.TaskNLP), w.Seed, "curve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.Epochs() != 5 || len(curve.Test) != 5 {
+		t.Fatalf("curve lengths %d/%d", len(curve.Val), len(curve.Test))
+	}
+	for _, v := range append(curve.Val, curve.Test...) {
+		if v < 0 || v > 1 {
+			t.Fatalf("accuracy %v outside [0,1]", v)
+		}
+	}
+	if curve.FinalVal() != curve.Val[4] || curve.FinalTest() != curve.Test[4] {
+		t.Fatal("Final accessors disagree with slices")
+	}
+}
+
+func TestEmptyCurveAccessors(t *testing.T) {
+	var c Curve
+	if c.FinalVal() != 0 || c.FinalTest() != 0 || c.Epochs() != 0 {
+		t.Fatal("empty curve accessors should be 0")
+	}
+}
+
+func TestFineTuneDeterministic(t *testing.T) {
+	w, m, d := fixture(t)
+	a, err := FineTune(m, d, Default(datahub.TaskNLP), w.Seed, "det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FineTune(m, d, Default(datahub.TaskNLP), w.Seed, "det")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] || a.Test[i] != b.Test[i] {
+			t.Fatal("identical runs diverged")
+		}
+	}
+}
+
+func TestSaltSeparatesRuns(t *testing.T) {
+	w, m, d := fixture(t)
+	a, err := FineTune(m, d, Default(datahub.TaskNLP), w.Seed, "salt-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FineTune(m, d, Default(datahub.TaskNLP), w.Seed, "salt-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Val {
+		if a.Val[i] != b.Val[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("distinct salts produced identical curves")
+	}
+}
+
+func TestCurveCopyIsIndependent(t *testing.T) {
+	w, m, d := fixture(t)
+	run, err := NewRun(m, d, Default(datahub.TaskNLP), w.Seed, "copy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.TrainEpoch()
+	c := run.Curve()
+	c.Val[0] = -99
+	if run.Curve().Val[0] == -99 {
+		t.Fatal("Curve() exposes internal slice")
+	}
+}
+
+func TestStagedTrainingMatchesFineTune(t *testing.T) {
+	w, m, d := fixture(t)
+	hp := Default(datahub.TaskNLP)
+	full, err := FineTune(m, d, hp, w.Seed, "staged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := NewRun(m, d, hp, w.Seed, "staged")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < hp.Epochs; e++ {
+		run.TrainEpoch()
+	}
+	staged := run.Curve()
+	for i := range full.Val {
+		if full.Val[i] != staged.Val[i] {
+			t.Fatal("staged training diverges from FineTune")
+		}
+	}
+}
+
+func TestLedger(t *testing.T) {
+	var l Ledger
+	l.ChargeEpochs(10)
+	l.ChargeInference(4)
+	if l.TrainEpochs() != 10 {
+		t.Fatalf("train epochs %d", l.TrainEpochs())
+	}
+	if l.Total() != 12 {
+		t.Fatalf("total %v (10 + 4*0.5)", l.Total())
+	}
+	var other Ledger
+	other.ChargeEpochs(5)
+	l.Add(other)
+	if l.Total() != 17 {
+		t.Fatalf("after Add total %v", l.Total())
+	}
+	if l.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestLedgerPanicsOnNegative(t *testing.T) {
+	var l Ledger
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	l.ChargeEpochs(-1)
+}
+
+func TestProbsShapeAndSum(t *testing.T) {
+	w, m, d := fixture(t)
+	run, err := NewRun(m, d, Default(datahub.TaskNLP), w.Seed, "probs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.TrainEpoch()
+	for _, probs := range [][][]float64{run.ValProbs(), run.TestProbs()} {
+		for _, p := range probs {
+			if len(p) != d.Classes {
+				t.Fatalf("prob width %d", len(p))
+			}
+			var sum float64
+			for _, v := range p {
+				if v < 0 {
+					t.Fatalf("negative probability %v", v)
+				}
+				sum += v
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Fatalf("probabilities sum to %v", sum)
+			}
+		}
+	}
+	if len(run.ValProbs()) != d.Val.Len() || len(run.TestProbs()) != d.Test.Len() {
+		t.Fatal("prob counts do not match splits")
+	}
+}
+
+func TestProbsConsistentWithAccuracy(t *testing.T) {
+	w, m, d := fixture(t)
+	run, err := NewRun(m, d, Default(datahub.TaskNLP), w.Seed, "probs-acc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3; e++ {
+		run.TrainEpoch()
+	}
+	probs := run.TestProbs()
+	correct := 0
+	for i, p := range probs {
+		best, bestV := 0, p[0]
+		for c, v := range p {
+			if v > bestV {
+				best, bestV = c, v
+			}
+		}
+		if best == d.Test.Y[i] {
+			correct++
+		}
+	}
+	want := run.TestAccuracy()
+	got := float64(correct) / float64(len(probs))
+	if got != want {
+		t.Fatalf("argmax accuracy %v != TestAccuracy %v", got, want)
+	}
+}
