@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: verify race bench fmt vet build test
+
+# verify is the tier-1 gate: exactly what CI and the roadmap run.
+verify: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the full suite under the race detector (the serving layer is
+# concurrent; this must stay clean).
+race:
+	$(GO) test -race ./...
+
+# bench smoke-runs every benchmark once; use `go test -bench=. -benchmem`
+# for real measurements.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+fmt:
+	gofmt -l .
+
+vet:
+	$(GO) vet ./...

@@ -24,6 +24,7 @@ import (
 	"twophase/internal/perfmatrix"
 	"twophase/internal/recall"
 	"twophase/internal/selection"
+	"twophase/internal/service"
 	"twophase/internal/synth"
 	"twophase/internal/trainer"
 )
@@ -249,6 +250,52 @@ func BenchmarkFineSelectOnly(b *testing.B) {
 		}
 	}
 }
+
+// --- serving-layer benchmarks ---
+
+// benchServiceBatch measures one whole-catalog NLP batch per iteration
+// through the selection service. The framework builds once outside the
+// timer, so the measurement is pure online serving.
+func benchServiceBatch(b *testing.B, workers, concurrency int) {
+	b.Helper()
+	svc, err := service.New(service.Options{
+		Base:        core.Options{Seed: experiments.DefaultSeed},
+		Workers:     workers,
+		Concurrency: concurrency,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets, err := svc.Targets(datahub.TaskNLP) // also primes the framework cache
+	if err != nil {
+		b.Fatal(err)
+	}
+	var epochs float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := svc.SelectAll(datahub.TaskNLP, targets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+			epochs += r.Report.TotalEpochs()
+		}
+	}
+	b.ReportMetric(epochs/float64(b.N), "epochs/op")
+}
+
+// BenchmarkServiceSequentialSelect is the baseline: one selection at a
+// time, one candidate trained at a time.
+func BenchmarkServiceSequentialSelect(b *testing.B) { benchServiceBatch(b, 1, 1) }
+
+// BenchmarkServiceParallelSelect fans selections and per-round candidate
+// training across all CPUs; on 4+ cores wall-clock should improve >= 2x
+// over BenchmarkServiceSequentialSelect while the reported epochs/op (and
+// every selection result) stay identical.
+func BenchmarkServiceParallelSelect(b *testing.B) { benchServiceBatch(b, 0, 0) }
 
 func BenchmarkExtensionEnsemble(b *testing.B) { benchExperiment(b, "extEnsemble") }
 

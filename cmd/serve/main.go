@@ -1,0 +1,158 @@
+// Command serve runs the concurrent selection service over one task
+// family: it builds (or loads from a store) the offline framework once,
+// then serves a batch of two-phase selections — an explicit target list or
+// the whole target catalog — in parallel, emitting one JSON document with
+// per-target winners, accuracies and epoch costs plus batch totals.
+//
+// Usage:
+//
+//	serve -task nlp -targets tweet_eval,super_glue/boolq [flags]
+//	serve -task cv -all [flags]
+//
+// Flags:
+//
+//	-seed N         world seed (default 42)
+//	-store DIR      artifact store; offline matrices persist across runs
+//	-workers N      per-round training parallelism (0 = one per CPU)
+//	-concurrency N  concurrent selections in the batch (0 = one per CPU)
+//	-list-targets   print the family's target datasets and exit
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"twophase/internal/core"
+	"twophase/internal/datahub"
+	"twophase/internal/service"
+)
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.task, "task", datahub.TaskNLP, `task family: "nlp" or "cv"`)
+	flag.StringVar(&cfg.targets, "targets", "", "comma-separated target dataset names")
+	flag.BoolVar(&cfg.all, "all", false, "serve every target in the family's catalog")
+	flag.Uint64Var(&cfg.seed, "seed", 42, "world seed")
+	flag.StringVar(&cfg.storeDir, "store", "", "artifact store directory (optional)")
+	flag.IntVar(&cfg.workers, "workers", 0, "per-round training workers (0 = one per CPU)")
+	flag.IntVar(&cfg.concurrency, "concurrency", 0, "concurrent selections (0 = one per CPU)")
+	flag.BoolVar(&cfg.listTargets, "list-targets", false, "list target datasets for the task and exit")
+	flag.Parse()
+
+	if err := run(os.Stdout, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	task        string
+	targets     string
+	all         bool
+	seed        uint64
+	storeDir    string
+	workers     int
+	concurrency int
+	listTargets bool
+	sizes       datahub.Sizes // test hook; zero means datahub defaults
+}
+
+// targetResult is the per-target slice of the JSON output.
+type targetResult struct {
+	Target   string  `json:"target"`
+	Winner   string  `json:"winner,omitempty"`
+	ValAcc   float64 `json:"val_acc,omitempty"`
+	TestAcc  float64 `json:"test_acc,omitempty"`
+	Epochs   float64 `json:"epochs,omitempty"`
+	Recalled int     `json:"recalled,omitempty"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// output is the whole JSON document.
+type output struct {
+	Task          string         `json:"task"`
+	Seed          uint64         `json:"seed"`
+	Targets       []targetResult `json:"targets"`
+	TotalEpochs   float64        `json:"total_epochs"`
+	OfflineBuilds int            `json:"offline_builds"`
+	WallMillis    int64          `json:"wall_ms"`
+}
+
+func run(w io.Writer, cfg config) error {
+	svc, err := service.New(service.Options{
+		Base:        core.Options{Seed: cfg.seed, Sizes: cfg.sizes},
+		StoreDir:    cfg.storeDir,
+		Workers:     cfg.workers,
+		Concurrency: cfg.concurrency,
+	})
+	if err != nil {
+		return err
+	}
+
+	if cfg.listTargets {
+		names, err := svc.Targets(cfg.task)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Fprintln(w, n)
+		}
+		return nil
+	}
+
+	var targets []string
+	switch {
+	case cfg.all && cfg.targets != "":
+		return fmt.Errorf("-all and -targets are mutually exclusive")
+	case cfg.all:
+		targets, err = svc.Targets(cfg.task)
+		if err != nil {
+			return err
+		}
+	case cfg.targets != "":
+		for _, t := range strings.Split(cfg.targets, ",") {
+			if t = strings.TrimSpace(t); t != "" {
+				targets = append(targets, t)
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return fmt.Errorf("no targets: pass -targets or -all (use -list-targets to see options)")
+	}
+
+	start := time.Now()
+	results, err := svc.SelectAll(cfg.task, targets)
+	if err != nil {
+		return err
+	}
+	doc := output{
+		Task:          cfg.task,
+		Seed:          cfg.seed,
+		Targets:       make([]targetResult, len(results)),
+		OfflineBuilds: svc.Builds(),
+		WallMillis:    time.Since(start).Milliseconds(),
+	}
+	cost := svc.Cost()
+	doc.TotalEpochs = cost.Total()
+	for i, r := range results {
+		tr := targetResult{Target: r.Target}
+		if r.Err != nil {
+			tr.Error = r.Err.Error()
+		} else {
+			tr.Winner = r.Report.Outcome.Winner
+			tr.ValAcc = r.Report.Outcome.WinnerVal
+			tr.TestAcc = r.Report.Outcome.WinnerTest
+			tr.Epochs = r.Report.TotalEpochs()
+			tr.Recalled = len(r.Report.Recall.Recalled)
+		}
+		doc.Targets[i] = tr
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}

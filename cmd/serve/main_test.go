@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"twophase/internal/datahub"
+)
+
+var testSizes = datahub.Sizes{Train: 60, Val: 40, Test: 48}
+
+func TestRunBatch(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := config{
+		task:    datahub.TaskNLP,
+		targets: "tweet_eval, super_glue/boolq",
+		seed:    42,
+		sizes:   testSizes,
+	}
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var doc output
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, buf.String())
+	}
+	if doc.Task != datahub.TaskNLP || len(doc.Targets) != 2 {
+		t.Fatalf("unexpected document: %+v", doc)
+	}
+	for _, tr := range doc.Targets {
+		if tr.Error != "" {
+			t.Fatalf("target %s errored: %s", tr.Target, tr.Error)
+		}
+		if tr.Winner == "" || tr.TestAcc <= 0 || tr.Epochs <= 0 {
+			t.Fatalf("incomplete result: %+v", tr)
+		}
+	}
+	if doc.Targets[0].Target != "tweet_eval" {
+		t.Fatalf("results not in request order: %+v", doc.Targets)
+	}
+	if doc.TotalEpochs <= 0 || doc.OfflineBuilds != 1 {
+		t.Fatalf("batch totals wrong: %+v", doc)
+	}
+}
+
+func TestRunAllWithStore(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{task: datahub.TaskNLP, all: true, seed: 42, storeDir: dir, sizes: testSizes}
+
+	var first bytes.Buffer
+	if err := run(&first, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var docA output
+	if err := json.Unmarshal(first.Bytes(), &docA); err != nil {
+		t.Fatal(err)
+	}
+	if docA.OfflineBuilds != 1 {
+		t.Fatalf("first run built %d frameworks, want 1", docA.OfflineBuilds)
+	}
+
+	// Second process over the same store serves without rebuilding and
+	// returns identical selections.
+	var second bytes.Buffer
+	if err := run(&second, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var docB output
+	if err := json.Unmarshal(second.Bytes(), &docB); err != nil {
+		t.Fatal(err)
+	}
+	if docB.OfflineBuilds != 0 {
+		t.Fatalf("second run built %d frameworks, want 0 (store hit)", docB.OfflineBuilds)
+	}
+	if len(docA.Targets) != len(docB.Targets) {
+		t.Fatalf("target counts differ: %d vs %d", len(docA.Targets), len(docB.Targets))
+	}
+	for i := range docA.Targets {
+		if docA.Targets[i] != docB.Targets[i] {
+			t.Fatalf("store-served selection differs at %s:\n%+v\nvs\n%+v",
+				docA.Targets[i].Target, docA.Targets[i], docB.Targets[i])
+		}
+	}
+}
+
+func TestRunListTargets(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := config{task: datahub.TaskNLP, listTargets: true, seed: 42, sizes: testSizes}
+	if err := run(&buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected the 4 NLP targets, got %d:\n%s", len(lines), buf.String())
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run(&bytes.Buffer{}, config{task: datahub.TaskNLP, sizes: testSizes}); err == nil {
+		t.Fatal("no targets accepted")
+	}
+	if err := run(&bytes.Buffer{}, config{task: datahub.TaskNLP, all: true, targets: "x", sizes: testSizes}); err == nil {
+		t.Fatal("-all with -targets accepted")
+	}
+	if err := run(&bytes.Buffer{}, config{task: "audio", all: true, sizes: testSizes}); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+}

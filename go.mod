@@ -1,0 +1,3 @@
+module twophase
+
+go 1.24

@@ -37,6 +37,11 @@ type Options struct {
 	// Recall optionally overrides coarse-recall options (zero-value
 	// fields fall back to the paper's defaults).
 	Recall recall.Options
+	// Workers bounds per-stage training parallelism of the online fine
+	// selection (see selection.Config.Workers): 0 or 1 is sequential,
+	// negative uses one worker per CPU. Results are identical across
+	// settings.
+	Workers int
 }
 
 // Framework bundles the offline artifacts needed to serve online
@@ -50,12 +55,32 @@ type Framework struct {
 	HP      trainer.Hyperparams
 	Recall  recall.Options
 	Seed    uint64
+	Workers int
+
+	// offline caches the target-independent coarse-recall artifacts
+	// (performance vectors, clustering, representatives) so serving many
+	// targets does not re-cluster the repository per request.
+	offline *recall.Offline
 }
 
 // Build runs the offline phase: materialize the world, fine-tune every
 // repository model on every benchmark dataset, and keep the performance
 // matrix plus convergence records for online use.
-func Build(opts Options) (*Framework, error) {
+func Build(opts Options) (*Framework, error) { return build(opts, nil) }
+
+// Assemble constructs a Framework around an already-built performance
+// matrix — typically one loaded from a store — skipping the expensive
+// offline fine-tuning. The matrix must describe exactly the world the
+// options would build (same task, model set, benchmark set and epoch
+// budget); a mismatch returns an error so callers can fall back to Build.
+func Assemble(opts Options, m *perfmatrix.Matrix) (*Framework, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: assemble: nil matrix")
+	}
+	return build(opts, m)
+}
+
+func build(opts Options, pre *perfmatrix.Matrix) (*Framework, error) {
 	if opts.Task == "" {
 		opts.Task = datahub.TaskNLP
 	}
@@ -72,9 +97,17 @@ func Build(opts Options) (*Framework, error) {
 	if hp == (trainer.Hyperparams{}) {
 		hp = trainer.Default(opts.Task)
 	}
-	m, err := perfmatrix.Build(repo, cat.Benchmarks(), hp, opts.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("core: performance matrix: %w", err)
+	var m *perfmatrix.Matrix
+	if pre != nil {
+		if err := matrixMatches(pre, opts.Task, opts.Seed, repo, cat.Benchmarks(), hp); err != nil {
+			return nil, fmt.Errorf("core: assemble: %w", err)
+		}
+		m = pre
+	} else {
+		m, err = perfmatrix.Build(repo, cat.Benchmarks(), hp, opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: performance matrix: %w", err)
+		}
 	}
 	ro := opts.Recall
 	def := recall.DefaultOptions()
@@ -97,6 +130,10 @@ func Build(opts Options) (*Framework, error) {
 	if ro.Scorer == nil {
 		ro.Scorer = def.Scorer
 	}
+	off, err := recall.PrepareOffline(m, ro)
+	if err != nil {
+		return nil, fmt.Errorf("core: offline recall artifacts: %w", err)
+	}
 	return &Framework{
 		Task:    opts.Task,
 		World:   w,
@@ -106,7 +143,67 @@ func Build(opts Options) (*Framework, error) {
 		HP:      hp,
 		Recall:  ro,
 		Seed:    opts.Seed,
+		Workers: opts.Workers,
+		offline: off,
 	}, nil
+}
+
+// matrixMatches verifies that a pre-built matrix was produced by exactly
+// the world the framework expects — same task, seed, hyperparameters,
+// benchmark split sizes, model set and benchmark set — so a stale or
+// foreign store artifact can never silently steer online selection. Model
+// and dataset name sets alone cannot discriminate (they come from static
+// per-task registries), which is why the matrix records its provenance.
+func matrixMatches(m *perfmatrix.Matrix, task string, seed uint64, repo *modelhub.Repository, benchmarks []*datahub.Dataset, hp trainer.Hyperparams) error {
+	if m.Task != task {
+		return fmt.Errorf("matrix task %q, want %q", m.Task, task)
+	}
+	if m.Seed != seed {
+		return fmt.Errorf("matrix seed %d, want %d", m.Seed, seed)
+	}
+	if m.HP != hp {
+		return fmt.Errorf("matrix hyperparams %+v, want %+v", m.HP, hp)
+	}
+	if m.Epochs != hp.Epochs {
+		return fmt.Errorf("matrix epochs %d, want %d", m.Epochs, hp.Epochs)
+	}
+	if len(benchmarks) > 0 {
+		sizes := datahub.Sizes{
+			Train: benchmarks[0].Train.Len(),
+			Val:   benchmarks[0].Val.Len(),
+			Test:  benchmarks[0].Test.Len(),
+		}
+		if m.Sizes != sizes {
+			return fmt.Errorf("matrix split sizes %+v, want %+v", m.Sizes, sizes)
+		}
+	}
+	wantModels := make([]string, 0, repo.Len())
+	for _, mod := range repo.Models() {
+		wantModels = append(wantModels, mod.Name)
+	}
+	if err := sameNames(m.Models, wantModels); err != nil {
+		return fmt.Errorf("matrix models: %w", err)
+	}
+	wantDatasets := make([]string, 0, len(benchmarks))
+	for _, d := range benchmarks {
+		wantDatasets = append(wantDatasets, d.Name)
+	}
+	if err := sameNames(m.Datasets, wantDatasets); err != nil {
+		return fmt.Errorf("matrix datasets: %w", err)
+	}
+	return nil
+}
+
+func sameNames(got, want []string) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%d names, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("name %d is %q, want %q", i, got[i], want[i])
+		}
+	}
+	return nil
 }
 
 // Report is the result of one end-to-end two-phase selection.
@@ -129,7 +226,7 @@ func (r *Report) TotalEpochs() float64 { return r.Ledger.Total() }
 // selection) for a target dataset.
 func (f *Framework) Select(target *datahub.Dataset) (*Report, error) {
 	var ledger trainer.Ledger
-	rr, err := recall.CoarseRecall(f.Matrix, f.Repo, target, f.Recall, &ledger)
+	rr, err := f.offline.Recall(f.Repo, target, &ledger)
 	if err != nil {
 		return nil, fmt.Errorf("core: coarse recall on %s: %w", target.Name, err)
 	}
@@ -138,7 +235,7 @@ func (f *Framework) Select(target *datahub.Dataset) (*Report, error) {
 		return nil, err
 	}
 	out, err := selection.FineSelect(candidates.Models(), target, selection.FineSelectOptions{
-		Config: selection.Config{HP: f.HP, Seed: f.Seed, Salt: "two-phase"},
+		Config: selection.Config{HP: f.HP, Seed: f.Seed, Salt: "two-phase", Workers: f.Workers},
 		Matrix: f.Matrix,
 	})
 	if err != nil {

@@ -36,14 +36,20 @@ func (e *Entry) FinalTest() float64 {
 
 // Matrix is the performance matrix plus convergence records for one task
 // family. Model and dataset orders are fixed at build time so performance
-// vectors are comparable.
+// vectors are comparable. Seed, HP and Sizes record the provenance of the
+// runs — the world seed, training hyperparameters and benchmark split
+// sizes — so a persisted matrix can be checked against the world a loader
+// expects instead of silently steering selection with foreign curves.
 type Matrix struct {
-	Task     string            `json:"task"`
-	Models   []string          `json:"models"`
-	Datasets []string          `json:"datasets"`
-	Epochs   int               `json:"epochs"`
-	Entries  map[string]*Entry `json:"entries"` // keyed by model + "\x00" + dataset
-	modelIdx map[string]int    // lazily rebuilt
+	Task     string              `json:"task"`
+	Models   []string            `json:"models"`
+	Datasets []string            `json:"datasets"`
+	Epochs   int                 `json:"epochs"`
+	Seed     uint64              `json:"seed"`
+	HP       trainer.Hyperparams `json:"hp"`
+	Sizes    datahub.Sizes       `json:"sizes"`
+	Entries  map[string]*Entry   `json:"entries"` // keyed by model + "\x00" + dataset
+	modelIdx map[string]int      // lazily rebuilt
 	dsIdx    map[string]int
 	once     sync.Once
 }
@@ -58,8 +64,15 @@ func Build(repo *modelhub.Repository, benchmarks []*datahub.Dataset, hp trainer.
 		return nil, fmt.Errorf("perfmatrix: no benchmark datasets")
 	}
 	m := &Matrix{
-		Task:    repo.Task,
-		Epochs:  hp.Epochs,
+		Task:   repo.Task,
+		Epochs: hp.Epochs,
+		Seed:   seed,
+		HP:     hp,
+		Sizes: datahub.Sizes{
+			Train: benchmarks[0].Train.Len(),
+			Val:   benchmarks[0].Val.Len(),
+			Test:  benchmarks[0].Test.Len(),
+		},
 		Entries: make(map[string]*Entry, repo.Len()*len(benchmarks)),
 	}
 	for _, mod := range repo.Models() {

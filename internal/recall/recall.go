@@ -71,9 +71,28 @@ type Result struct {
 	ScoredModels int
 }
 
-// CoarseRecall runs the phase against one target dataset. The ledger, if
-// non-nil, is charged 0.5 epoch per proxy computation.
-func CoarseRecall(m *perfmatrix.Matrix, repo *modelhub.Repository, target *datahub.Dataset, opts Options, ledger *trainer.Ledger) (*Result, error) {
+// Offline bundles the target-independent artifacts of coarse recall —
+// performance vectors, benchmark averages, the model clustering and its
+// representatives. The paper computes these once in the offline phase
+// (§II.B); preparing them once per framework lets a serving layer answer
+// many targets without re-clustering the repository every request.
+// An Offline is immutable after PrepareOffline and safe for concurrent use.
+type Offline struct {
+	opts   Options
+	names  []string
+	vecs   [][]float64
+	avgAcc []float64
+	dist   func(a, b []float64) float64
+
+	// Clustering is the model clustering over the matrix's model order.
+	Clustering cluster.Clustering
+	reps       map[int]string
+	repIdx     map[int]int
+	cids       []int // representative cluster ids, ascending
+}
+
+// PrepareOffline computes the target-independent half of coarse recall.
+func PrepareOffline(m *perfmatrix.Matrix, opts Options) (*Offline, error) {
 	opts.fill()
 	names := m.Models
 	if len(names) == 0 {
@@ -119,8 +138,6 @@ func CoarseRecall(m *perfmatrix.Matrix, repo *modelhub.Repository, target *datah
 		}
 	}
 
-	// Proxy scores for representatives only, then min-max normalization
-	// across the scored set (Eq. 2's [0,1] normalization).
 	cids := make([]int, 0, len(reps))
 	for cid := range reps {
 		cids = append(cids, cid)
@@ -133,39 +150,59 @@ func CoarseRecall(m *perfmatrix.Matrix, repo *modelhub.Repository, target *datah
 			}
 		}
 	}
-	raw := make([]float64, len(cids))
-	for i, cid := range cids {
-		model, err := repo.Get(reps[cid])
+	return &Offline{
+		opts:       opts,
+		names:      names,
+		vecs:       vecs,
+		avgAcc:     avgAcc,
+		dist:       dist,
+		Clustering: clustering,
+		reps:       reps,
+		repIdx:     repIdx,
+		cids:       cids,
+	}, nil
+}
+
+// Recall runs the online half of the phase against one target dataset:
+// proxy-score the representatives, normalize, propagate to members and
+// singletons, and rank. The ledger, if non-nil, is charged 0.5 epoch per
+// proxy computation.
+func (o *Offline) Recall(repo *modelhub.Repository, target *datahub.Dataset, ledger *trainer.Ledger) (*Result, error) {
+	// Proxy scores for representatives only, then min-max normalization
+	// across the scored set (Eq. 2's [0,1] normalization).
+	raw := make([]float64, len(o.cids))
+	for i, cid := range o.cids {
+		model, err := repo.Get(o.reps[cid])
 		if err != nil {
 			return nil, err
 		}
-		s, err := opts.Scorer.Score(model, target)
+		s, err := o.opts.Scorer.Score(model, target)
 		if err != nil {
-			return nil, fmt.Errorf("recall: proxy %s on %s: %w", opts.Scorer.Name(), model.Name, err)
+			return nil, fmt.Errorf("recall: proxy %s on %s: %w", o.opts.Scorer.Name(), model.Name, err)
 		}
 		raw[i] = s
 	}
 	norm := proxy.Normalize(raw)
-	repProxy := make(map[int]float64, len(cids))
-	for i, cid := range cids {
+	repProxy := make(map[int]float64, len(o.cids))
+	for i, cid := range o.cids {
 		repProxy[cid] = norm[i]
 	}
 	if ledger != nil {
-		ledger.ChargeInference(len(cids))
+		ledger.ChargeInference(len(o.cids))
 	}
 
 	res := &Result{
-		RecallScores:    make(map[string]float64, len(names)),
-		ProxyScores:     make(map[string]float64, len(names)),
-		Clustering:      clustering,
-		Representatives: reps,
-		ScoredModels:    len(cids),
+		RecallScores:    make(map[string]float64, len(o.names)),
+		ProxyScores:     make(map[string]float64, len(o.names)),
+		Clustering:      o.Clustering,
+		Representatives: o.reps,
+		ScoredModels:    len(o.cids),
 	}
 
-	groups := clustering.Groups()
-	scores := make([]float64, len(names))
-	for i, name := range names {
-		cid := clustering.Assign[i]
+	groups := o.Clustering.Groups()
+	scores := make([]float64, len(o.names))
+	for i, name := range o.names {
+		cid := o.Clustering.Assign[i]
 		var p float64
 		if len(groups[cid]) > 1 {
 			// Eq. 3: member of a non-singleton cluster inherits the
@@ -179,30 +216,42 @@ func CoarseRecall(m *perfmatrix.Matrix, repo *modelhub.Repository, target *datah
 			// Eq. 4: propagate from non-singleton representatives,
 			// decayed by Eq. 1 similarity.
 			var sum float64
-			for _, rc := range cids {
-				rep := repIdx[rc]
-				sim := 1 - dist(vecs[i], vecs[rep])
+			for _, rc := range o.cids {
+				rep := o.repIdx[rc]
+				sim := 1 - o.dist(o.vecs[i], o.vecs[rep])
 				if sim < 0 {
 					sim = 0
 				}
 				sum += sim * repProxy[rc]
 			}
-			p = sum / float64(len(cids))
+			p = sum / float64(len(o.cids))
 		}
 		res.ProxyScores[name] = p
-		scores[i] = avgAcc[i] * p
+		scores[i] = o.avgAcc[i] * p
 		res.RecallScores[name] = scores[i]
 	}
 
 	order := numeric.ArgSortDesc(scores)
-	k := opts.K
+	k := o.opts.K
 	if k > len(order) {
 		k = len(order)
 	}
 	for _, i := range order[:k] {
-		res.Recalled = append(res.Recalled, names[i])
+		res.Recalled = append(res.Recalled, o.names[i])
 	}
 	return res, nil
+}
+
+// CoarseRecall runs the phase against one target dataset. The ledger, if
+// non-nil, is charged 0.5 epoch per proxy computation. Callers answering
+// many targets over one matrix should PrepareOffline once and call Recall
+// per target instead.
+func CoarseRecall(m *perfmatrix.Matrix, repo *modelhub.Repository, target *datahub.Dataset, opts Options, ledger *trainer.Ledger) (*Result, error) {
+	off, err := PrepareOffline(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return off.Recall(repo, target, ledger)
 }
 
 // RandomRecall returns K models drawn uniformly without replacement — the

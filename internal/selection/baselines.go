@@ -30,6 +30,14 @@ type Config struct {
 	// epochs each surviving model trains between filtering decisions.
 	// 0 means 1, the paper's evaluation setting.
 	StageEpochs int
+	// Workers bounds how many surviving candidates train concurrently
+	// within one stage — per-round training is embarrassingly parallel
+	// because every run owns its RNG stream. 0 or 1 trains sequentially
+	// (the historical behaviour); negative uses one worker per CPU.
+	// Outcomes are bit-identical across settings: stage results merge in
+	// fixed pool order and the ledger is charged per stage, not per
+	// goroutine.
+	Workers int
 }
 
 // stageEpochs returns the effective validation interval.
@@ -96,22 +104,10 @@ func BruteForce(models []*modelhub.Model, d *datahub.Dataset, cfg Config) (*Outc
 	if err != nil {
 		return nil, err
 	}
-	out := &Outcome{Stages: [][]string{names(models)}}
-	bestVal := -1.0
-	for _, m := range models {
-		run := runs[m.Name]
-		for e := 0; e < cfg.HP.Epochs; e++ {
-			run.TrainEpoch()
-			out.Ledger.ChargeEpochs(1)
-		}
-		if v := run.Curve().FinalVal(); v > bestVal {
-			bestVal = v
-			out.Winner = m.Name
-			out.WinnerVal = v
-			out.WinnerTest = run.TestAccuracy()
-		}
-	}
-	return out, nil
+	pool := names(models)
+	out := &Outcome{Stages: [][]string{pool}}
+	trainStage(runs, pool, cfg.HP.Epochs, cfg.workers(), &out.Ledger)
+	return finish(out, pool, runs)
 }
 
 // SuccessiveHalving trains every surviving model one epoch per stage and
@@ -127,13 +123,7 @@ func SuccessiveHalving(models []*modelhub.Model, d *datahub.Dataset, cfg Config)
 	out := &Outcome{}
 	for _, stageLen := range cfg.stagePlan() {
 		out.Stages = append(out.Stages, append([]string(nil), pool...))
-		vals := make([]float64, len(pool))
-		for i, name := range pool {
-			for e := 0; e < stageLen; e++ {
-				vals[i] = runs[name].TrainEpoch()
-				out.Ledger.ChargeEpochs(1)
-			}
-		}
+		vals := trainStage(runs, pool, stageLen, cfg.workers(), &out.Ledger)
 		if len(pool) > 1 {
 			keep := len(pool) / 2
 			if keep < 1 {

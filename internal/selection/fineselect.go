@@ -41,13 +41,7 @@ func FineSelect(models []*modelhub.Model, d *datahub.Dataset, opts FineSelectOpt
 	completed := 0
 	for _, stageLen := range opts.stagePlan() {
 		out.Stages = append(out.Stages, append([]string(nil), pool...))
-		vals := make([]float64, len(pool))
-		for i, name := range pool {
-			for e := 0; e < stageLen; e++ {
-				vals[i] = runs[name].TrainEpoch()
-				out.Ledger.ChargeEpochs(1)
-			}
-		}
+		vals := trainStage(runs, pool, stageLen, opts.workers(), &out.Ledger)
 		completed += stageLen
 		// stage is the offline-curve epoch index matching the validation
 		// accuracy just measured, for trend lookup.

@@ -1,0 +1,62 @@
+package selection
+
+import (
+	"runtime"
+	"sync"
+
+	"twophase/internal/trainer"
+)
+
+// trainStage trains every pool member for stageLen epochs and returns each
+// member's latest validation accuracy, in pool order. With workers > 1 the
+// members train concurrently on a bounded worker pool; results are still
+// identical to the sequential pass because each trainer.Run owns its named
+// RNG stream (seeded from world seed, model and dataset), members share no
+// state, and results merge by fixed pool index. The stage's epoch cost is
+// charged to the ledger once, after the barrier, so ledger contents do not
+// depend on goroutine scheduling.
+func trainStage(runs map[string]*trainer.Run, pool []string, stageLen, workers int, ledger *trainer.Ledger) []float64 {
+	vals := make([]float64, len(pool))
+	if workers > len(pool) {
+		workers = len(pool)
+	}
+	if workers <= 1 {
+		for i, name := range pool {
+			for e := 0; e < stageLen; e++ {
+				vals[i] = runs[name].TrainEpoch()
+			}
+		}
+		ledger.ChargeEpochs(len(pool) * stageLen)
+		return vals
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				run := runs[pool[i]]
+				for e := 0; e < stageLen; e++ {
+					vals[i] = run.TrainEpoch()
+				}
+			}
+		}()
+	}
+	for i := range pool {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	ledger.ChargeEpochs(len(pool) * stageLen)
+	return vals
+}
+
+// workers resolves Config.Workers: 0 or 1 means sequential, negative means
+// one worker per available CPU.
+func (c Config) workers() int {
+	if c.Workers < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Workers
+}

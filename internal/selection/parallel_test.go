@@ -1,0 +1,96 @@
+package selection
+
+import (
+	"reflect"
+	"testing"
+
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+	"twophase/internal/perfmatrix"
+	"twophase/internal/synth"
+	"twophase/internal/trainer"
+)
+
+// parallelFixture builds a small pool of models, a target and an offline
+// matrix for trend-guided selection.
+func parallelFixture(t *testing.T) ([]*modelhub.Model, *datahub.Dataset, *perfmatrix.Matrix, Config) {
+	t.Helper()
+	w := synth.NewWorld(11)
+	cat, err := datahub.NewTaskCatalog(w, datahub.TaskNLP, datahub.Sizes{Train: 60, Val: 40, Test: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo, err := modelhub.NewTaskRepository(w, datahub.TaskNLP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp := trainer.Default(datahub.TaskNLP)
+	m, err := perfmatrix.Build(repo, cat.Benchmarks(), hp, w.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := repo.Models()[:8]
+	d, err := cat.Get("tweet_eval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return models, d, m, Config{HP: hp, Seed: w.Seed, Salt: "parallel-test"}
+}
+
+// TestFineSelectParallelGolden locks in the tentpole guarantee: the
+// worker-pool path returns an Outcome deeply identical to the sequential
+// path — winner, accuracies, stage pools, and ledger.
+func TestFineSelectParallelGolden(t *testing.T) {
+	models, d, m, cfg := parallelFixture(t)
+	for _, workers := range []int{2, 4, -1} {
+		seqCfg, parCfg := cfg, cfg
+		seqCfg.Workers = 1
+		parCfg.Workers = workers
+		seq, err := FineSelect(models, d, FineSelectOptions{Config: seqCfg, Matrix: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := FineSelect(models, d, FineSelectOptions{Config: parCfg, Matrix: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("workers=%d outcome differs from sequential:\n%+v\nvs\n%+v", workers, par, seq)
+		}
+	}
+}
+
+func TestSuccessiveHalvingParallelGolden(t *testing.T) {
+	models, d, _, cfg := parallelFixture(t)
+	seqCfg, parCfg := cfg, cfg
+	seqCfg.Workers = 0
+	parCfg.Workers = 4
+	seq, err := SuccessiveHalving(models, d, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SuccessiveHalving(models, d, parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel SH differs from sequential:\n%+v\nvs\n%+v", par, seq)
+	}
+}
+
+func TestBruteForceParallelGolden(t *testing.T) {
+	models, d, _, cfg := parallelFixture(t)
+	seqCfg, parCfg := cfg, cfg
+	parCfg.Workers = 4
+	seq, err := BruteForce(models, d, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := BruteForce(models, d, parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel BF differs from sequential:\n%+v\nvs\n%+v", par, seq)
+	}
+}

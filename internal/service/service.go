@@ -1,0 +1,266 @@
+// Package service is the concurrent selection-serving layer: the first
+// piece of the architecture that turns the paper's two-phase pipeline into
+// something that can sit behind traffic. A Service lazily builds (or loads
+// from an artifact store) one core.Framework per task family behind a
+// singleflight guard — N concurrent requests for the same family trigger
+// exactly one offline build — and then serves online selections: single
+// targets, explicit batches, or the whole target catalog, fanned out across
+// a bounded concurrency budget.
+//
+// Every result is bit-identical to the sequential pipeline: per-round
+// candidate training parallelizes via selection.Config.Workers (each run
+// owns its RNG stream and stage results merge in fixed pool order), batch
+// results come back in request order, and each request carries its own
+// ledger while a shared concurrency-safe ledger accumulates the service's
+// total spend.
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"twophase/internal/core"
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+	"twophase/internal/store"
+	"twophase/internal/trainer"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Base supplies the per-family build options (seed, sizes,
+	// hyperparameters, recall settings). Base.Task is ignored — the task
+	// family is chosen per request — and Base.Workers is superseded by
+	// Workers below.
+	Base core.Options
+	// StoreDir, when non-empty, persists offline artifacts (performance
+	// matrices plus model/dataset specs) so later processes skip the
+	// offline build entirely.
+	StoreDir string
+	// Workers bounds per-round candidate-training parallelism inside one
+	// fine selection. 0 means one worker per CPU; 1 forces the
+	// sequential path. Results are identical either way.
+	Workers int
+	// Concurrency bounds how many selections run at once in SelectAll.
+	// 0 means one per CPU.
+	Concurrency int
+}
+
+// flight is one singleflight cell: the first requester builds, everyone
+// else waits on done and shares the result.
+type flight struct {
+	done chan struct{}
+	fw   *core.Framework
+	err  error
+}
+
+// Service serves two-phase model selections with cached frameworks.
+type Service struct {
+	opts Options
+	st   *store.Store
+
+	mu         sync.Mutex
+	flights    map[string]*flight
+	persistErr error // last failed artifact write, if any
+
+	builds int64 // offline builds actually executed (atomic)
+	cost   trainer.SharedLedger
+}
+
+// New creates a Service. The store directory, if configured, is created on
+// the spot so a misconfigured path fails at construction, not mid-request.
+func New(opts Options) (*Service, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	s := &Service{opts: opts, flights: make(map[string]*flight)}
+	if opts.StoreDir != "" {
+		st, err := store.Open(opts.StoreDir)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		s.st = st
+	}
+	return s, nil
+}
+
+// Framework returns the cached framework for a task family, building or
+// loading it on first use. Concurrent callers for the same family share a
+// single build; a failed build is not cached, so the next caller retries.
+func (s *Service) Framework(task string) (*core.Framework, error) {
+	s.mu.Lock()
+	if f, ok := s.flights[task]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.fw, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[task] = f
+	s.mu.Unlock()
+
+	f.fw, f.err = s.load(task)
+	if f.err != nil {
+		s.mu.Lock()
+		delete(s.flights, task)
+		s.mu.Unlock()
+	}
+	close(f.done)
+	return f.fw, f.err
+}
+
+// matrixKey names the stored matrix for a (task, seed) pair; the seed is
+// part of the key because the matrix encodes one synthetic world.
+func (s *Service) matrixKey(task string) string {
+	return fmt.Sprintf("%s-seed%d", task, s.opts.Base.Seed)
+}
+
+// load resolves a framework: from the store when a matching matrix is
+// persisted, otherwise by running the offline build (and persisting its
+// artifacts for the next process).
+func (s *Service) load(task string) (*core.Framework, error) {
+	opts := s.opts.Base
+	opts.Task = task
+	opts.Workers = s.opts.Workers
+	if s.st != nil {
+		if m, err := s.st.GetMatrix(s.matrixKey(task)); err == nil {
+			if fw, err := core.Assemble(opts, m); err == nil {
+				return fw, nil
+			}
+			// Mismatched or stale artifact: fall through to a fresh
+			// build, which overwrites it.
+		}
+	}
+	atomic.AddInt64(&s.builds, 1)
+	fw, err := core.Build(opts)
+	if err != nil {
+		return nil, err
+	}
+	if s.st != nil {
+		// Persistence is best-effort: the framework in memory is valid
+		// regardless, and failing the request here would leave the
+		// service permanently unable to serve on a full or read-only
+		// store volume. The error stays visible via PersistErr.
+		if err := s.persist(fw); err != nil {
+			s.mu.Lock()
+			s.persistErr = err
+			s.mu.Unlock()
+		}
+	}
+	return fw, nil
+}
+
+// PersistErr reports the most recent artifact-write failure, or nil.
+// Frameworks still serve from memory when persistence fails; this is the
+// observability hook for that degraded state.
+func (s *Service) PersistErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persistErr
+}
+
+// persist writes the framework's offline artifacts to the store.
+func (s *Service) persist(fw *core.Framework) error {
+	if err := s.st.PutMatrix(s.matrixKey(fw.Task), fw.Matrix); err != nil {
+		return err
+	}
+	specs := make([]modelhub.Spec, 0, fw.Repo.Len())
+	for _, m := range fw.Repo.Models() {
+		specs = append(specs, m.Spec)
+	}
+	if err := s.st.SaveRepository(specs); err != nil {
+		return err
+	}
+	dspecs := make([]datahub.Spec, 0, len(fw.Catalog.All()))
+	for _, d := range fw.Catalog.All() {
+		dspecs = append(dspecs, d.Spec)
+	}
+	return s.st.SaveCatalogSpecs(dspecs)
+}
+
+// Builds returns how many offline builds this service has executed — zero
+// when every framework came out of the store, one per family otherwise.
+func (s *Service) Builds() int { return int(atomic.LoadInt64(&s.builds)) }
+
+// Cost returns a snapshot of the epochs spent by all selections served so
+// far, across all goroutines.
+func (s *Service) Cost() trainer.Ledger { return s.cost.Snapshot() }
+
+// Targets lists the task family's target dataset names in catalog order.
+func (s *Service) Targets(task string) ([]string, error) {
+	fw, err := s.Framework(task)
+	if err != nil {
+		return nil, err
+	}
+	targets := fw.Catalog.Targets()
+	names := make([]string, len(targets))
+	for i, d := range targets {
+		names[i] = d.Name
+	}
+	return names, nil
+}
+
+// Select serves one two-phase selection for a named target.
+func (s *Service) Select(task, target string) (*core.Report, error) {
+	fw, err := s.Framework(task)
+	if err != nil {
+		return nil, err
+	}
+	report, err := fw.SelectByName(target)
+	if err != nil {
+		return nil, err
+	}
+	s.cost.Add(report.Ledger)
+	return report, nil
+}
+
+// Result is one entry of a batched selection.
+type Result struct {
+	Target string
+	Report *core.Report
+	Err    error
+}
+
+// SelectAll serves a batch of targets concurrently under the service's
+// concurrency budget. Results come back in request order; a per-target
+// failure is recorded in its Result without aborting the rest of the
+// batch. The framework resolves once for the whole batch.
+func (s *Service) SelectAll(task string, targets []string) ([]Result, error) {
+	fw, err := s.Framework(task)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(targets))
+	sem := make(chan struct{}, s.opts.Concurrency)
+	var wg sync.WaitGroup
+	for i, name := range targets {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			report, err := fw.SelectByName(name)
+			if err != nil {
+				results[i] = Result{Target: name, Err: err}
+				return
+			}
+			s.cost.Add(report.Ledger)
+			results[i] = Result{Target: name, Report: report}
+		}(i, name)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// SelectAllTargets serves every target in the task family's catalog.
+func (s *Service) SelectAllTargets(task string) ([]Result, error) {
+	targets, err := s.Targets(task)
+	if err != nil {
+		return nil, err
+	}
+	return s.SelectAll(task, targets)
+}

@@ -1,0 +1,252 @@
+package service
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"twophase/internal/core"
+	"twophase/internal/datahub"
+	"twophase/internal/trainer"
+)
+
+// tinySizes keeps offline builds fast enough to run several per test
+// binary (including under -race) while preserving the full 40x24 matrix
+// shape.
+var tinySizes = datahub.Sizes{Train: 60, Val: 40, Test: 48}
+
+func newTestService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	if opts.Base.Seed == 0 {
+		opts.Base.Seed = 42
+	}
+	if opts.Base.Sizes == (datahub.Sizes{}) {
+		opts.Base.Sizes = tinySizes
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFrameworkSingleflight(t *testing.T) {
+	s := newTestService(t, Options{})
+	const callers = 8
+	fws := make([]*core.Framework, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fw, err := s.Framework(datahub.TaskNLP)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			fws[i] = fw
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if fws[i] != fws[0] {
+			t.Fatalf("caller %d got a different framework instance", i)
+		}
+	}
+	if got := s.Builds(); got != 1 {
+		t.Fatalf("%d offline builds for %d concurrent callers, want 1", got, callers)
+	}
+	// A later call still hits the cache.
+	if _, err := s.Framework(datahub.TaskNLP); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Builds(); got != 1 {
+		t.Fatalf("%d builds after cache hit, want 1", got)
+	}
+}
+
+func TestFrameworkBadTaskNotCached(t *testing.T) {
+	s := newTestService(t, Options{})
+	if _, err := s.Framework("audio"); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+	// The failed flight must not poison the cell: a valid family still
+	// builds, and the bad one still errors.
+	if _, err := s.Framework(datahub.TaskNLP); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Framework("audio"); err == nil {
+		t.Fatal("unknown task accepted on retry")
+	}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	first := newTestService(t, Options{StoreDir: dir})
+	reportA, err := first.Select(datahub.TaskNLP, "tweet_eval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Builds() != 1 {
+		t.Fatalf("first service ran %d builds, want 1", first.Builds())
+	}
+
+	// A second process over the same store must serve without rebuilding
+	// and return the identical report.
+	second := newTestService(t, Options{StoreDir: dir})
+	reportB, err := second.Select(datahub.TaskNLP, "tweet_eval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Builds() != 0 {
+		t.Fatalf("second service ran %d builds, want 0 (store hit)", second.Builds())
+	}
+	if !reflect.DeepEqual(reportA, reportB) {
+		t.Fatalf("store-served report differs from fresh build:\n%+v\nvs\n%+v", reportA, reportB)
+	}
+}
+
+func TestStoreMismatchRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	first := newTestService(t, Options{StoreDir: dir, Base: core.Options{Seed: 42, Sizes: tinySizes}})
+	if _, err := first.Framework(datahub.TaskNLP); err != nil {
+		t.Fatal(err)
+	}
+	// Same store, different world seed: the persisted matrix describes a
+	// different world, so the service must rebuild rather than serve it.
+	other := newTestService(t, Options{StoreDir: dir, Base: core.Options{Seed: 7, Sizes: tinySizes}})
+	if _, err := other.Framework(datahub.TaskNLP); err != nil {
+		t.Fatal(err)
+	}
+	if other.Builds() != 1 {
+		t.Fatalf("mismatched store served without rebuild (%d builds)", other.Builds())
+	}
+}
+
+func TestStoreHyperparamMismatchRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	first := newTestService(t, Options{StoreDir: dir, Base: core.Options{Seed: 42, Sizes: tinySizes}})
+	if _, err := first.Framework(datahub.TaskNLP); err != nil {
+		t.Fatal(err)
+	}
+	// Same store, same seed, different learning rate: model and dataset
+	// name sets are identical (they come from static registries), so only
+	// the matrix's recorded provenance can catch this — convergence
+	// curves trained at the default LR must not steer selection at the
+	// low LR.
+	low := newTestService(t, Options{StoreDir: dir, Base: core.Options{
+		Seed:  42,
+		Sizes: tinySizes,
+		HP:    trainer.LowLR(datahub.TaskNLP),
+	}})
+	if _, err := low.Framework(datahub.TaskNLP); err != nil {
+		t.Fatal(err)
+	}
+	if low.Builds() != 1 {
+		t.Fatalf("hyperparam-mismatched store served without rebuild (%d builds)", low.Builds())
+	}
+	// Different benchmark split sizes with identical seed and HP must
+	// also rebuild.
+	sized := newTestService(t, Options{StoreDir: dir, Base: core.Options{
+		Seed:  42,
+		Sizes: datahub.Sizes{Train: 80, Val: 40, Test: 48},
+	}})
+	if _, err := sized.Framework(datahub.TaskNLP); err != nil {
+		t.Fatal(err)
+	}
+	if sized.Builds() != 1 {
+		t.Fatalf("size-mismatched store served without rebuild (%d builds)", sized.Builds())
+	}
+}
+
+// TestParallelMatchesSequential is the golden identity check: worker-pool
+// parallel fine selection must produce reports deeply identical to the
+// sequential path — winners, stage pools, accuracies and ledgers.
+func TestParallelMatchesSequential(t *testing.T) {
+	seq := newTestService(t, Options{Workers: 1, Concurrency: 1})
+	par := newTestService(t, Options{Workers: 4, Concurrency: 4})
+	targets, err := seq.Targets(datahub.TaskNLP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(targets) == 0 {
+		t.Fatal("no targets")
+	}
+	got, err := par.SelectAll(datahub.TaskNLP, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.SelectAll(datahub.TaskNLP, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range targets {
+		if got[i].Err != nil || want[i].Err != nil {
+			t.Fatalf("target %s errored: parallel=%v sequential=%v", targets[i], got[i].Err, want[i].Err)
+		}
+		if !reflect.DeepEqual(got[i].Report, want[i].Report) {
+			t.Fatalf("parallel report for %s differs from sequential:\n%+v\nvs\n%+v",
+				targets[i], got[i].Report, want[i].Report)
+		}
+	}
+}
+
+func TestSelectAllDeterministicAndOrdered(t *testing.T) {
+	s := newTestService(t, Options{})
+	targets, err := s.Targets(datahub.TaskNLP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.SelectAll(datahub.TaskNLP, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.SelectAll(datahub.TaskNLP, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(targets) {
+		t.Fatalf("%d results for %d targets", len(a), len(targets))
+	}
+	for i := range a {
+		if a[i].Target != targets[i] {
+			t.Fatalf("result %d is %q, want request order %q", i, a[i].Target, targets[i])
+		}
+		if !reflect.DeepEqual(a[i], b[i]) {
+			t.Fatalf("batch not deterministic at %s", targets[i])
+		}
+	}
+}
+
+func TestSelectAllPartialFailure(t *testing.T) {
+	s := newTestService(t, Options{})
+	results, err := s.SelectAll(datahub.TaskNLP, []string{"tweet_eval", "no-such-dataset"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[0].Report == nil {
+		t.Fatalf("valid target failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("unknown target in batch did not error")
+	}
+}
+
+func TestSharedCostLedger(t *testing.T) {
+	s := newTestService(t, Options{})
+	results, err := s.SelectAllTargets(datahub.TaskNLP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		want += r.Report.TotalEpochs()
+	}
+	cost := s.Cost()
+	if got := cost.Total(); got != want {
+		t.Fatalf("shared ledger %v epochs, want sum of per-request ledgers %v", got, want)
+	}
+}

@@ -54,11 +54,31 @@ func (s *Store) write(kind, name string, v interface{}) error {
 		return fmt.Errorf("store: marshal %s/%s: %w", kind, name, err)
 	}
 	path := filepath.Join(s.dir, kind, slug(name))
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("store: write %s: %w", tmp, err)
+	// The temp file must be unique per writer: serving processes may share
+	// a store directory, and a fixed name would let two concurrent writers
+	// interleave into (and then rename) a corrupted artifact.
+	tmp, err := os.CreateTemp(filepath.Dir(path), slug(name)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: temp for %s/%s: %w", kind, name, err)
 	}
-	return os.Rename(tmp, path)
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: write %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: close %s: %w", tmp.Name(), err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 func (s *Store) read(kind, name string, v interface{}) error {

@@ -90,11 +90,19 @@ func (w *World) MixtureDirections(mix map[string]float64, n int, rng *numeric.RN
 }
 
 // NormalizeMixture returns a copy of mix scaled so the weights sum to 1.
-// An empty or all-zero mixture returns an empty map.
+// An empty or all-zero mixture returns an empty map. The total accumulates
+// in sorted key order: float sums are order-sensitive in the last ULP, and
+// map iteration order would otherwise leak into every derived weight,
+// breaking bit-reproducibility across processes.
 func NormalizeMixture(mix map[string]float64) map[string]float64 {
+	names := make([]string, 0, len(mix))
+	for k := range mix {
+		names = append(names, k)
+	}
+	sort.Strings(names)
 	var total float64
-	for _, v := range mix {
-		if v > 0 {
+	for _, k := range names {
+		if v := mix[k]; v > 0 {
 			total += v
 		}
 	}

@@ -1,6 +1,9 @@
 package trainer
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Ledger accumulates the training-epoch cost of a selection procedure,
 // the paper's runtime metric ("runtime is total training epoch number",
@@ -46,4 +49,46 @@ func (l *Ledger) Add(other Ledger) {
 // String renders the ledger for logs.
 func (l *Ledger) String() string {
 	return fmt.Sprintf("%.1f epochs (%d train + %d proxy inferences)", l.Total(), l.trainEpochs, l.inferenceHalves)
+}
+
+// SharedLedger is a Ledger that many goroutines may charge concurrently —
+// the serving layer's shared cost budget. The zero value is ready to use.
+type SharedLedger struct {
+	mu sync.Mutex
+	l  Ledger
+}
+
+// ChargeEpochs records n full training epochs.
+func (s *SharedLedger) ChargeEpochs(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.l.ChargeEpochs(n)
+}
+
+// ChargeInference records proxy-score inference over n models.
+func (s *SharedLedger) ChargeInference(nModels int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.l.ChargeInference(nModels)
+}
+
+// Add merges a finished request's ledger into the shared total.
+func (s *SharedLedger) Add(other Ledger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.l.Add(other)
+}
+
+// Snapshot returns a copy of the accumulated ledger.
+func (s *SharedLedger) Snapshot() Ledger {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l
+}
+
+// Total returns the combined cost in epochs accumulated so far.
+func (s *SharedLedger) Total() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.Total()
 }
