@@ -1,6 +1,7 @@
 GO ?= go
+SERVER_FLAGS ?=
 
-.PHONY: verify race bench fmt vet build test
+.PHONY: verify race bench fmt vet build test run-server
 
 # verify is the tier-1 gate: exactly what CI and the roadmap run.
 verify: build test
@@ -20,6 +21,11 @@ race:
 # for real measurements.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# run-server boots the v1 selection API on :8080; override with e.g.
+# `make run-server SERVER_FLAGS='-addr :9090 -store /tmp/twophase-store'`.
+run-server:
+	$(GO) run ./cmd/apiserver $(SERVER_FLAGS)
 
 fmt:
 	gofmt -l .

@@ -14,6 +14,8 @@
 package twophase_bench
 
 import (
+	"context"
+
 	"sync"
 	"testing"
 
@@ -107,7 +109,7 @@ func benchSelect(b *testing.B, fw *core.Framework, target string) {
 	var epochs, acc float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		report, err := fw.Select(d)
+		report, err := fw.Select(context.Background(), d)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,7 +149,7 @@ func BenchmarkBruteForceNLP(b *testing.B) {
 	var epochs float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := nlp.BruteForce(d)
+		out, err := nlp.BruteForce(context.Background(), d)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,7 +167,7 @@ func BenchmarkSuccessiveHalvingNLP(b *testing.B) {
 	var epochs float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := nlp.SuccessiveHalving(d)
+		out, err := nlp.SuccessiveHalving(context.Background(), d)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -241,7 +243,7 @@ func BenchmarkFineSelectOnly(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_, err := selection.FineSelect(cand.Models(), d, selection.FineSelectOptions{
+		_, err := selection.FineSelect(context.Background(), cand.Models(), d, selection.FineSelectOptions{
 			Config: selection.Config{HP: nlp.HP, Seed: nlp.Seed, Salt: "two-phase"},
 			Matrix: nlp.Matrix,
 		})
@@ -266,14 +268,14 @@ func benchServiceBatch(b *testing.B, workers, concurrency int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	targets, err := svc.Targets(datahub.TaskNLP) // also primes the framework cache
+	targets, err := svc.Targets(context.Background(), datahub.TaskNLP) // also primes the framework cache
 	if err != nil {
 		b.Fatal(err)
 	}
 	var epochs float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		results, err := svc.SelectAll(datahub.TaskNLP, targets)
+		results, err := svc.SelectAll(context.Background(), datahub.TaskNLP, targets)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -320,7 +322,7 @@ func BenchmarkEnsembleSelectK3(b *testing.B) {
 	var acc, epochs float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out, err := selection.EnsembleSelect(cand.Models(), d, opts, 3)
+		out, err := selection.EnsembleSelect(context.Background(), cand.Models(), d, opts, 3)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,126 @@
+// Command apiserver serves the v1 selection API over HTTP: versioned
+// selection requests with per-request strategy choice, target catalogs,
+// health and stats, backed by the concurrent selection service (cached
+// frameworks, singleflight offline builds, bounded fan-out).
+//
+// Endpoints:
+//
+//	POST /v1/select                  single or batch selection
+//	GET  /v1/tasks/{task}/targets    target catalog of a task family
+//	GET  /v1/healthz                 liveness
+//	GET  /v1/stats                   builds, cumulative cost, degradation
+//
+// Usage:
+//
+//	apiserver -addr :8080 [flags]
+//
+// Flags:
+//
+//	-addr HOST:PORT      listen address (default :8080)
+//	-seed N              default world seed (default 42)
+//	-store DIR           artifact store; offline matrices persist across runs
+//	-workers N           per-round training parallelism (0 = one per CPU)
+//	-concurrency N       concurrent selections per batch (0 = one per CPU)
+//	-train/-val/-test N  split sizes (0 = paper defaults; set all or none)
+//	-shutdown-grace D    drain window after SIGTERM/SIGINT (default 15s)
+//
+// On SIGTERM or SIGINT the server stops accepting connections and drains
+// in-flight selections for the grace window; selections still running
+// after it are aborted through context cancellation.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"twophase/internal/api"
+	"twophase/internal/core"
+	"twophase/internal/datahub"
+	"twophase/internal/service"
+)
+
+type config struct {
+	addr          string
+	seed          uint64
+	storeDir      string
+	workers       int
+	concurrency   int
+	sizes         datahub.Sizes
+	shutdownGrace time.Duration
+}
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.Uint64Var(&cfg.seed, "seed", 42, "default world seed")
+	flag.StringVar(&cfg.storeDir, "store", "", "artifact store directory (optional)")
+	flag.IntVar(&cfg.workers, "workers", 0, "per-round training workers (0 = one per CPU)")
+	flag.IntVar(&cfg.concurrency, "concurrency", 0, "concurrent selections per batch (0 = one per CPU)")
+	flag.IntVar(&cfg.sizes.Train, "train", 0, "train split size (0 = default)")
+	flag.IntVar(&cfg.sizes.Val, "val", 0, "val split size (0 = default)")
+	flag.IntVar(&cfg.sizes.Test, "test", 0, "test split size (0 = default)")
+	flag.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 15*time.Second, "drain window on SIGTERM/SIGINT")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "apiserver:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until ctx is canceled (then drains
+// in-flight requests for the grace window) or the listener fails. If
+// ready is non-nil the bound address is sent once the listener is up, so
+// tests can bind 127.0.0.1:0.
+func run(ctx context.Context, cfg config, ready chan<- string) error {
+	zero := datahub.Sizes{}
+	if cfg.sizes != zero && (cfg.sizes.Train <= 0 || cfg.sizes.Val <= 0 || cfg.sizes.Test <= 0) {
+		return fmt.Errorf("-train, -val and -test must be set together (got %+v)", cfg.sizes)
+	}
+	svc, err := service.New(service.Options{
+		Base:        core.Options{Seed: cfg.seed, Sizes: cfg.sizes},
+		StoreDir:    cfg.storeDir,
+		Workers:     cfg.workers,
+		Concurrency: cfg.concurrency,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: api.NewHandler(api.NewDispatcher(svc, cfg.seed))}
+	log.Printf("apiserver: serving v1 selection API on %s (seed %d)", ln.Addr(), cfg.seed)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("apiserver: shutting down, draining for up to %s", cfg.shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Grace expired with selections still burning epochs: close the
+		// connections so their request contexts cancel the per-round
+		// loops.
+		srv.Close()
+		return fmt.Errorf("drain window expired: %w", err)
+	}
+	return nil
+}

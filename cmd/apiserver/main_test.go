@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"twophase/internal/api"
+	"twophase/internal/datahub"
+)
+
+// TestServerLifecycle boots a real apiserver on an ephemeral port, drives
+// it through the Go client, and shuts it down gracefully.
+func TestServerLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := config{
+		addr:          "127.0.0.1:0",
+		seed:          42,
+		sizes:         datahub.Sizes{Train: 60, Val: 40, Test: 48},
+		shutdownGrace: 5 * time.Second,
+	}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	c := api.NewClient("http://"+addr, nil)
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp, err := c.Select(context.Background(), &api.SelectRequest{
+		Task:    datahub.TaskNLP,
+		Targets: []string{"tweet_eval"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Winner == "" || resp.Failed != 0 {
+		t.Fatalf("bad selection over live server: %+v", resp)
+	}
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OfflineBuilds != 1 || st.TotalEpochs <= 0 {
+		t.Fatalf("stats over live server: %+v", st)
+	}
+
+	// Signal-equivalent shutdown: cancel the run context and expect a
+	// clean drain.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down within the grace window")
+	}
+}
+
+func TestRunRejectsPartialSizes(t *testing.T) {
+	err := run(context.Background(), config{addr: "127.0.0.1:0", sizes: datahub.Sizes{Train: 60}}, nil)
+	if err == nil {
+		t.Fatal("partial split sizes accepted")
+	}
+}

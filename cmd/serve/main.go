@@ -1,32 +1,45 @@
-// Command serve runs the concurrent selection service over one task
-// family: it builds (or loads from a store) the offline framework once,
-// then serves a batch of two-phase selections — an explicit target list or
-// the whole target catalog — in parallel, emitting one JSON document with
-// per-target winners, accuracies and epoch costs plus batch totals.
+// Command serve runs batched selections through the versioned v1 API
+// contract — the same request/response types the HTTP server speaks — and
+// prints one api.SelectResponse JSON document. By default it serves in
+// process (building or store-loading the offline framework itself); with
+// -server it becomes a thin client of a running apiserver, so CLI and
+// HTTP selections are bit-identical for the same seed.
 //
 // Usage:
 //
 //	serve -task nlp -targets tweet_eval,super_glue/boolq [flags]
 //	serve -task cv -all [flags]
+//	serve -task nlp -all -server http://127.0.0.1:8080
 //
 // Flags:
 //
+//	-strategy S     selection strategy: two-phase (default), sh, bf, ensemble
+//	-server URL     send requests to a running apiserver instead of serving
+//	                in process (-store/-concurrency are rejected: they
+//	                configure the serving process; an explicit -seed is
+//	                sent as a per-request override)
 //	-seed N         world seed (default 42)
 //	-store DIR      artifact store; offline matrices persist across runs
 //	-workers N      per-round training parallelism (0 = one per CPU)
 //	-concurrency N  concurrent selections in the batch (0 = one per CPU)
 //	-list-targets   print the family's target datasets and exit
+//
+// The process exits nonzero when the request itself fails or when every
+// target in the batch failed (the document still prints, with the failed
+// count).
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
-	"time"
 
+	"twophase/internal/api"
 	"twophase/internal/core"
 	"twophase/internal/datahub"
 	"twophase/internal/service"
@@ -37,14 +50,26 @@ func main() {
 	flag.StringVar(&cfg.task, "task", datahub.TaskNLP, `task family: "nlp" or "cv"`)
 	flag.StringVar(&cfg.targets, "targets", "", "comma-separated target dataset names")
 	flag.BoolVar(&cfg.all, "all", false, "serve every target in the family's catalog")
+	flag.StringVar(&cfg.strategy, "strategy", "", "selection strategy: two-phase (default), sh, bf, ensemble")
+	flag.StringVar(&cfg.server, "server", "", "apiserver base URL (default: serve in process)")
 	flag.Uint64Var(&cfg.seed, "seed", 42, "world seed")
 	flag.StringVar(&cfg.storeDir, "store", "", "artifact store directory (optional)")
 	flag.IntVar(&cfg.workers, "workers", 0, "per-round training workers (0 = one per CPU)")
 	flag.IntVar(&cfg.concurrency, "concurrency", 0, "concurrent selections (0 = one per CPU)")
 	flag.BoolVar(&cfg.listTargets, "list-targets", false, "list target datasets for the task and exit")
 	flag.Parse()
+	// Only an explicit -seed becomes a per-request override; otherwise a
+	// remote apiserver keeps serving its own configured world instead of
+	// being forced onto this binary's default.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			cfg.seedSet = true
+		}
+	})
 
-	if err := run(os.Stdout, cfg); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)
 	}
@@ -54,7 +79,10 @@ type config struct {
 	task        string
 	targets     string
 	all         bool
+	strategy    string
+	server      string
 	seed        uint64
+	seedSet     bool // -seed passed explicitly
 	storeDir    string
 	workers     int
 	concurrency int
@@ -62,28 +90,22 @@ type config struct {
 	sizes       datahub.Sizes // test hook; zero means datahub defaults
 }
 
-// targetResult is the per-target slice of the JSON output.
-type targetResult struct {
-	Target   string  `json:"target"`
-	Winner   string  `json:"winner,omitempty"`
-	ValAcc   float64 `json:"val_acc,omitempty"`
-	TestAcc  float64 `json:"test_acc,omitempty"`
-	Epochs   float64 `json:"epochs,omitempty"`
-	Recalled int     `json:"recalled,omitempty"`
-	Error    string  `json:"error,omitempty"`
-}
-
-// output is the whole JSON document.
-type output struct {
-	Task          string         `json:"task"`
-	Seed          uint64         `json:"seed"`
-	Targets       []targetResult `json:"targets"`
-	TotalEpochs   float64        `json:"total_epochs"`
-	OfflineBuilds int            `json:"offline_builds"`
-	WallMillis    int64          `json:"wall_ms"`
-}
-
-func run(w io.Writer, cfg config) error {
+// newAPI picks the transport: a remote apiserver when -server is set,
+// otherwise an in-process dispatcher over a freshly built service. Both
+// implement the same contract.
+func newAPI(cfg config) (api.API, error) {
+	if cfg.server != "" {
+		// These knobs configure the serving process, not a request;
+		// silently ignoring them would let a user believe artifacts are
+		// persisting or fan-out is bounded when neither is true.
+		if cfg.storeDir != "" {
+			return nil, fmt.Errorf("-store configures the serving process; not valid with -server")
+		}
+		if cfg.concurrency != 0 {
+			return nil, fmt.Errorf("-concurrency configures the serving process; not valid with -server")
+		}
+		return api.NewClient(cfg.server, nil), nil
+	}
 	svc, err := service.New(service.Options{
 		Base:        core.Options{Seed: cfg.seed, Sizes: cfg.sizes},
 		StoreDir:    cfg.storeDir,
@@ -91,15 +113,23 @@ func run(w io.Writer, cfg config) error {
 		Concurrency: cfg.concurrency,
 	})
 	if err != nil {
+		return nil, err
+	}
+	return api.NewDispatcher(svc, cfg.seed), nil
+}
+
+func run(ctx context.Context, w io.Writer, cfg config) error {
+	a, err := newAPI(cfg)
+	if err != nil {
 		return err
 	}
 
 	if cfg.listTargets {
-		names, err := svc.Targets(cfg.task)
+		resp, err := a.Targets(ctx, cfg.task)
 		if err != nil {
 			return err
 		}
-		for _, n := range names {
+		for _, n := range resp.Targets {
 			fmt.Fprintln(w, n)
 		}
 		return nil
@@ -110,10 +140,11 @@ func run(w io.Writer, cfg config) error {
 	case cfg.all && cfg.targets != "":
 		return fmt.Errorf("-all and -targets are mutually exclusive")
 	case cfg.all:
-		targets, err = svc.Targets(cfg.task)
+		resp, err := a.Targets(ctx, cfg.task)
 		if err != nil {
 			return err
 		}
+		targets = resp.Targets
 	case cfg.targets != "":
 		for _, t := range strings.Split(cfg.targets, ",") {
 			if t = strings.TrimSpace(t); t != "" {
@@ -125,34 +156,27 @@ func run(w io.Writer, cfg config) error {
 		return fmt.Errorf("no targets: pass -targets or -all (use -list-targets to see options)")
 	}
 
-	start := time.Now()
-	results, err := svc.SelectAll(cfg.task, targets)
+	req := &api.SelectRequest{
+		Task:     cfg.task,
+		Targets:  targets,
+		Strategy: cfg.strategy,
+		Workers:  cfg.workers,
+	}
+	if cfg.seedSet {
+		seed := cfg.seed
+		req.Seed = &seed
+	}
+	resp, err := a.Select(ctx, req)
 	if err != nil {
 		return err
 	}
-	doc := output{
-		Task:          cfg.task,
-		Seed:          cfg.seed,
-		Targets:       make([]targetResult, len(results)),
-		OfflineBuilds: svc.Builds(),
-		WallMillis:    time.Since(start).Milliseconds(),
-	}
-	cost := svc.Cost()
-	doc.TotalEpochs = cost.Total()
-	for i, r := range results {
-		tr := targetResult{Target: r.Target}
-		if r.Err != nil {
-			tr.Error = r.Err.Error()
-		} else {
-			tr.Winner = r.Report.Outcome.Winner
-			tr.ValAcc = r.Report.Outcome.WinnerVal
-			tr.TestAcc = r.Report.Outcome.WinnerTest
-			tr.Epochs = r.Report.TotalEpochs()
-			tr.Recalled = len(r.Report.Recall.Recalled)
-		}
-		doc.Targets[i] = tr
-	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
+	if err := enc.Encode(resp); err != nil {
+		return err
+	}
+	if resp.Failed > 0 && resp.Failed == len(resp.Results) {
+		return fmt.Errorf("all %d targets failed", resp.Failed)
+	}
+	return nil
 }

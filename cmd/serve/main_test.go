@@ -2,14 +2,29 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
+	"twophase/internal/api"
+	"twophase/internal/core"
 	"twophase/internal/datahub"
+	"twophase/internal/service"
 )
 
 var testSizes = datahub.Sizes{Train: 60, Val: 40, Test: 48}
+
+func decode(t *testing.T, buf *bytes.Buffer) api.SelectResponse {
+	t.Helper()
+	var doc api.SelectResponse
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON output: %v\n%s", err, buf.String())
+	}
+	return doc
+}
 
 func TestRunBatch(t *testing.T) {
 	var buf bytes.Buffer
@@ -19,17 +34,17 @@ func TestRunBatch(t *testing.T) {
 		seed:    42,
 		sizes:   testSizes,
 	}
-	if err := run(&buf, cfg); err != nil {
+	if err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
-	var doc output
-	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
-		t.Fatalf("invalid JSON output: %v\n%s", err, buf.String())
-	}
-	if doc.Task != datahub.TaskNLP || len(doc.Targets) != 2 {
+	doc := decode(t, &buf)
+	if doc.APIVersion != api.Version || doc.Task != datahub.TaskNLP || len(doc.Results) != 2 {
 		t.Fatalf("unexpected document: %+v", doc)
 	}
-	for _, tr := range doc.Targets {
+	if doc.Strategy != string(core.StrategyTwoPhase) {
+		t.Fatalf("default strategy is %q, want two-phase", doc.Strategy)
+	}
+	for _, tr := range doc.Results {
 		if tr.Error != "" {
 			t.Fatalf("target %s errored: %s", tr.Target, tr.Error)
 		}
@@ -37,11 +52,19 @@ func TestRunBatch(t *testing.T) {
 			t.Fatalf("incomplete result: %+v", tr)
 		}
 	}
-	if doc.Targets[0].Target != "tweet_eval" {
-		t.Fatalf("results not in request order: %+v", doc.Targets)
+	if doc.Results[0].Target != "tweet_eval" {
+		t.Fatalf("results not in request order: %+v", doc.Results)
 	}
-	if doc.TotalEpochs <= 0 || doc.OfflineBuilds != 1 {
+	if doc.Failed != 0 || doc.TotalEpochs <= 0 || doc.OfflineBuilds != 1 {
 		t.Fatalf("batch totals wrong: %+v", doc)
+	}
+	// The batch total is the sum of this request's per-target ledgers.
+	var sum float64
+	for _, tr := range doc.Results {
+		sum += tr.Epochs
+	}
+	if doc.TotalEpochs != sum {
+		t.Fatalf("total_epochs %v != per-result sum %v", doc.TotalEpochs, sum)
 	}
 }
 
@@ -50,13 +73,10 @@ func TestRunAllWithStore(t *testing.T) {
 	cfg := config{task: datahub.TaskNLP, all: true, seed: 42, storeDir: dir, sizes: testSizes}
 
 	var first bytes.Buffer
-	if err := run(&first, cfg); err != nil {
+	if err := run(context.Background(), &first, cfg); err != nil {
 		t.Fatal(err)
 	}
-	var docA output
-	if err := json.Unmarshal(first.Bytes(), &docA); err != nil {
-		t.Fatal(err)
-	}
+	docA := decode(t, &first)
 	if docA.OfflineBuilds != 1 {
 		t.Fatalf("first run built %d frameworks, want 1", docA.OfflineBuilds)
 	}
@@ -64,31 +84,104 @@ func TestRunAllWithStore(t *testing.T) {
 	// Second process over the same store serves without rebuilding and
 	// returns identical selections.
 	var second bytes.Buffer
-	if err := run(&second, cfg); err != nil {
+	if err := run(context.Background(), &second, cfg); err != nil {
 		t.Fatal(err)
 	}
-	var docB output
-	if err := json.Unmarshal(second.Bytes(), &docB); err != nil {
-		t.Fatal(err)
-	}
+	docB := decode(t, &second)
 	if docB.OfflineBuilds != 0 {
 		t.Fatalf("second run built %d frameworks, want 0 (store hit)", docB.OfflineBuilds)
 	}
-	if len(docA.Targets) != len(docB.Targets) {
-		t.Fatalf("target counts differ: %d vs %d", len(docA.Targets), len(docB.Targets))
+	if len(docA.Results) != len(docB.Results) {
+		t.Fatalf("target counts differ: %d vs %d", len(docA.Results), len(docB.Results))
 	}
-	for i := range docA.Targets {
-		if docA.Targets[i] != docB.Targets[i] {
+	for i := range docA.Results {
+		if !reflect.DeepEqual(docA.Results[i], docB.Results[i]) {
 			t.Fatalf("store-served selection differs at %s:\n%+v\nvs\n%+v",
-				docA.Targets[i].Target, docA.Targets[i], docB.Targets[i])
+				docA.Results[i].Target, docA.Results[i], docB.Results[i])
 		}
+	}
+}
+
+// TestCLIMatchesHTTP is the contract-sharing guarantee: the same request
+// served in process and through a real HTTP server round-trip must yield
+// bit-identical selection results for the same seed.
+func TestCLIMatchesHTTP(t *testing.T) {
+	svc, err := service.New(service.Options{Base: core.Options{Seed: 42, Sizes: testSizes}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api.NewHandler(api.NewDispatcher(svc, 42)))
+	defer ts.Close()
+
+	cfg := config{task: datahub.TaskNLP, targets: "tweet_eval,super_glue/boolq", seed: 42, sizes: testSizes}
+	var local bytes.Buffer
+	if err := run(context.Background(), &local, cfg); err != nil {
+		t.Fatal(err)
+	}
+	cfg.server = ts.URL
+	var remote bytes.Buffer
+	if err := run(context.Background(), &remote, cfg); err != nil {
+		t.Fatal(err)
+	}
+	docL, docR := decode(t, &local), decode(t, &remote)
+	if !reflect.DeepEqual(docL.Results, docR.Results) {
+		t.Fatalf("HTTP-served results differ from in-process:\n%+v\nvs\n%+v", docL.Results, docR.Results)
+	}
+	if docL.TotalEpochs != docR.TotalEpochs || docL.Failed != docR.Failed {
+		t.Fatalf("HTTP totals differ: %+v vs %+v", docL, docR)
+	}
+}
+
+func TestRunStrategyFlag(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := config{task: datahub.TaskNLP, targets: "tweet_eval", strategy: "sh", seed: 42, sizes: testSizes}
+	if err := run(context.Background(), &buf, cfg); err != nil {
+		t.Fatal(err)
+	}
+	doc := decode(t, &buf)
+	if doc.Strategy != string(core.StrategySH) {
+		t.Fatalf("strategy %q, want sh", doc.Strategy)
+	}
+	if doc.Results[0].Winner == "" || doc.Results[0].Recalled != 0 {
+		t.Fatalf("sh result should have a winner and no recall phase: %+v", doc.Results[0])
+	}
+}
+
+// TestRunAllTargetsFailed locks in the exit contract: when every target
+// in the batch fails, the document still prints (with the failed count)
+// and run returns an error so the process exits nonzero.
+func TestRunAllTargetsFailed(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := config{task: datahub.TaskNLP, targets: "no-such-a,no-such-b", seed: 42, sizes: testSizes}
+	err := run(context.Background(), &buf, cfg)
+	if err == nil {
+		t.Fatal("run returned nil although every target failed")
+	}
+	doc := decode(t, &buf)
+	if doc.Failed != 2 || len(doc.Results) != 2 {
+		t.Fatalf("failed count %d of %d results, want 2 of 2", doc.Failed, len(doc.Results))
+	}
+	for _, tr := range doc.Results {
+		if tr.ErrorCode != api.CodeUnknownTarget {
+			t.Fatalf("error code %q, want %q: %+v", tr.ErrorCode, api.CodeUnknownTarget, tr)
+		}
+	}
+
+	// A partial failure keeps exit code zero: the document reports it.
+	buf.Reset()
+	cfg.targets = "tweet_eval,no-such-b"
+	if err := run(context.Background(), &buf, cfg); err != nil {
+		t.Fatalf("partial failure must not fail the run: %v", err)
+	}
+	if doc := decode(t, &buf); doc.Failed != 1 {
+		t.Fatalf("failed count %d, want 1", doc.Failed)
 	}
 }
 
 func TestRunListTargets(t *testing.T) {
 	var buf bytes.Buffer
 	cfg := config{task: datahub.TaskNLP, listTargets: true, seed: 42, sizes: testSizes}
-	if err := run(&buf, cfg); err != nil {
+	if err := run(context.Background(), &buf, cfg); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
@@ -98,13 +191,25 @@ func TestRunListTargets(t *testing.T) {
 }
 
 func TestRunFlagErrors(t *testing.T) {
-	if err := run(&bytes.Buffer{}, config{task: datahub.TaskNLP, sizes: testSizes}); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, &bytes.Buffer{}, config{task: datahub.TaskNLP, sizes: testSizes}); err == nil {
 		t.Fatal("no targets accepted")
 	}
-	if err := run(&bytes.Buffer{}, config{task: datahub.TaskNLP, all: true, targets: "x", sizes: testSizes}); err == nil {
+	if err := run(ctx, &bytes.Buffer{}, config{task: datahub.TaskNLP, all: true, targets: "x", sizes: testSizes}); err == nil {
 		t.Fatal("-all with -targets accepted")
 	}
-	if err := run(&bytes.Buffer{}, config{task: "audio", all: true, sizes: testSizes}); err == nil {
+	if err := run(ctx, &bytes.Buffer{}, config{task: "audio", all: true, sizes: testSizes}); err == nil {
 		t.Fatal("unknown task accepted")
+	}
+	if err := run(ctx, &bytes.Buffer{}, config{task: datahub.TaskNLP, targets: "tweet_eval", strategy: "zigzag", sizes: testSizes}); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	// Server-side knobs must be rejected, not silently ignored, in
+	// client mode.
+	if err := run(ctx, &bytes.Buffer{}, config{task: datahub.TaskNLP, targets: "x", server: "http://127.0.0.1:1", storeDir: "/tmp/x"}); err == nil {
+		t.Fatal("-store accepted with -server")
+	}
+	if err := run(ctx, &bytes.Buffer{}, config{task: datahub.TaskNLP, targets: "x", server: "http://127.0.0.1:1", concurrency: 2}); err == nil {
+		t.Fatal("-concurrency accepted with -server")
 	}
 }

@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"os"
@@ -107,7 +109,7 @@ func run(task, target string, seed uint64, k int, storeDir string, baselines, li
 	if err != nil {
 		return err
 	}
-	report, err := fw.Select(d)
+	report, err := fw.Select(context.Background(), d)
 	if err != nil {
 		return err
 	}
@@ -128,11 +130,11 @@ func run(task, target string, seed uint64, k int, storeDir string, baselines, li
 	fmt.Printf("cost: %s\n", report.Ledger.String())
 
 	if baselines {
-		bf, err := fw.BruteForce(d)
+		bf, err := fw.BruteForce(context.Background(), d)
 		if err != nil {
 			return err
 		}
-		sh, err := fw.SuccessiveHalving(d)
+		sh, err := fw.SuccessiveHalving(context.Background(), d)
 		if err != nil {
 			return err
 		}

@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -27,7 +29,7 @@ func main() {
 	fmt.Printf("target: %s — %s (%d classes)\n", target.Name, target.Description, target.Classes)
 	fmt.Println("no repository model was pre-trained on medical imaging")
 
-	report, err := fw.Select(target)
+	report, err := fw.Select(context.Background(), target)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +44,7 @@ func main() {
 	fmt.Printf("\nselected: %s (test %.3f) in %.1f epochs\n",
 		report.Outcome.Winner, report.Outcome.WinnerTest, report.TotalEpochs())
 
-	bf, err := fw.BruteForce(target)
+	bf, err := fw.BruteForce(context.Background(), target)
 	if err != nil {
 		log.Fatal(err)
 	}

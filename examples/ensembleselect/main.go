@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -40,7 +42,7 @@ func main() {
 		Matrix: fw.Matrix,
 	}
 
-	single, err := selection.FineSelect(cand.Models(), target, opts)
+	single, err := selection.FineSelect(context.Background(), cand.Models(), target, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +50,7 @@ func main() {
 		single.Winner, single.WinnerTest, single.Ledger.TrainEpochs())
 
 	for _, k := range []int{2, 3, 5} {
-		ens, err := selection.EnsembleSelect(cand.Models(), target, opts, k)
+		ens, err := selection.EnsembleSelect(context.Background(), cand.Models(), target, opts, k)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 	"sort"
@@ -26,7 +28,7 @@ func main() {
 	}
 
 	// Ground truth for context: what would every model achieve?
-	oracle, err := fw.OracleAccuracies(target)
+	oracle, err := fw.OracleAccuracies(context.Background(), target)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,7 +49,7 @@ func main() {
 		all[0].acc, all[len(all)/2].acc, all[len(all)-1].acc)
 
 	// Two-phase selection.
-	report, err := fw.Select(target)
+	report, err := fw.Select(context.Background(), target)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,11 +57,11 @@ func main() {
 		report.Outcome.Winner, report.Outcome.WinnerTest, report.TotalEpochs())
 
 	// Baselines.
-	bf, err := fw.BruteForce(target)
+	bf, err := fw.BruteForce(context.Background(), target)
 	if err != nil {
 		log.Fatal(err)
 	}
-	sh, err := fw.SuccessiveHalving(target)
+	sh, err := fw.SuccessiveHalving(context.Background(), target)
 	if err != nil {
 		log.Fatal(err)
 	}

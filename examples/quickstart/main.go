@@ -5,6 +5,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 	"log"
 
@@ -28,7 +30,7 @@ func main() {
 	// recall scores only the cluster representatives against it, then
 	// fine selection trains the 10 recalled models with trend-guided
 	// early filtering.
-	report, err := fw.SelectByName("tweet_eval")
+	report, err := fw.SelectByName(context.Background(), "tweet_eval")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package twophase_bench
 
 import (
+	"context"
+
 	"path/filepath"
 	"testing"
 
@@ -67,11 +69,11 @@ func TestOfflineArtifactsSurvivePersistence(t *testing.T) {
 		Config: selection.Config{HP: fw.HP, Seed: fw.Seed, Salt: "two-phase"},
 		Matrix: reloaded,
 	}
-	out, err := selection.FineSelect(cand.Models(), target, opts)
+	out, err := selection.FineSelect(context.Background(), cand.Models(), target, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct, err := fw.Select(target)
+	direct, err := fw.Select(context.Background(), target)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,98 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Client is the HTTP implementation of the API contract. Errors decoded
+// from ErrorResponse bodies are rebuilt around the package sentinels, so
+// errors.Is(err, api.ErrUnknownTarget) holds across the wire exactly as it
+// does in process.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient points a client at a server base URL (e.g.
+// "http://127.0.0.1:8080"). A nil httpClient uses http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// Select implements API.
+func (c *Client) Select(ctx context.Context, req *SelectRequest) (*SelectResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("api: marshal request: %w", err)
+	}
+	var resp SelectResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/select", bytes.NewReader(body), &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Targets implements API.
+func (c *Client) Targets(ctx context.Context, task string) (*TargetsResponse, error) {
+	var resp TargetsResponse
+	path := "/v1/tasks/" + url.PathEscape(task) + "/targets"
+	if err := c.do(ctx, http.MethodGet, path, nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats implements API.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var resp Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health checks the server's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	var resp Health
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, &resp)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out interface{}) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("api: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return classify(err)
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(res.Body)
+	if err != nil {
+		return fmt.Errorf("api: read response: %w", err)
+	}
+	if res.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return errFromCode(e.Code, e.Error)
+		}
+		return fmt.Errorf("api: %s %s: unexpected status %d: %s", method, path, res.StatusCode, strings.TrimSpace(string(data)))
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("api: decode response: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package api
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"twophase/internal/service"
+)
+
+// API is the versioned selection contract. Dispatcher implements it in
+// process; Client implements it over HTTP. The CLI and the server are both
+// written against this interface, so the two paths cannot drift.
+type API interface {
+	// Select serves a selection request. A single-target request
+	// surfaces that target's failure as the request error; a batch
+	// reports per-target errors in Results and counts them in Failed.
+	Select(ctx context.Context, req *SelectRequest) (*SelectResponse, error)
+	// Targets lists a task family's target datasets.
+	Targets(ctx context.Context, task string) (*TargetsResponse, error)
+	// Stats snapshots the serving process's counters.
+	Stats(ctx context.Context) (*Stats, error)
+}
+
+// Dispatcher is the in-process API implementation: it validates requests,
+// routes every strategy through service.Do, and renders uniform responses.
+type Dispatcher struct {
+	svc *service.Service
+	// baseSeed echoes the service's configured world seed in responses.
+	baseSeed uint64
+}
+
+// NewDispatcher wraps a service in the v1 contract. baseSeed is the seed
+// the service was configured with, echoed on responses that do not
+// override it.
+func NewDispatcher(svc *service.Service, baseSeed uint64) *Dispatcher {
+	return &Dispatcher{svc: svc, baseSeed: baseSeed}
+}
+
+// Select implements API.
+func (d *Dispatcher) Select(ctx context.Context, req *SelectRequest) (*SelectResponse, error) {
+	if req == nil {
+		return nil, errBadRequest("nil request")
+	}
+	if req.Task == "" {
+		return nil, errBadRequest("missing task")
+	}
+	if len(req.Targets) == 0 {
+		return nil, errBadRequest("no targets")
+	}
+	for _, t := range req.Targets {
+		if t == "" {
+			return nil, errBadRequest("empty target name")
+		}
+	}
+	if req.Workers < 0 || req.EnsembleK < 0 {
+		return nil, errBadRequest(fmt.Sprintf("negative tuning field (workers=%d, ensemble_k=%d)", req.Workers, req.EnsembleK))
+	}
+	strat, err := parseStrategy(req.Strategy)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	results, err := d.svc.Do(ctx, service.Request{
+		Task:      req.Task,
+		Targets:   req.Targets,
+		Strategy:  strat,
+		Seed:      req.Seed,
+		Workers:   req.Workers,
+		EnsembleK: req.EnsembleK,
+	})
+	if err != nil {
+		return nil, classify(err)
+	}
+	// A context canceled mid-batch leaves every unfinished target with a
+	// context error; surface that as one request-level cancellation.
+	if ctx.Err() != nil {
+		return nil, classify(ctx.Err())
+	}
+
+	seed := d.baseSeed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	resp := &SelectResponse{
+		APIVersion: Version,
+		Task:       req.Task,
+		Strategy:   string(strat),
+		Seed:       seed,
+		Results:    make([]TargetResult, len(results)),
+	}
+	for i, r := range results {
+		tr := TargetResult{Target: r.Target}
+		if r.Err != nil {
+			err := classify(r.Err)
+			tr.Error = err.Error()
+			tr.ErrorCode = Code(err)
+			resp.Failed++
+		} else {
+			tr.Winner = r.Report.Outcome.Winner
+			tr.Members = r.Report.Members
+			tr.ValAcc = r.Report.Outcome.WinnerVal
+			tr.TestAcc = r.Report.Outcome.WinnerTest
+			tr.Epochs = r.Report.TotalEpochs()
+			if r.Report.Recall != nil {
+				tr.Recalled = len(r.Report.Recall.Recalled)
+			}
+			// Batch cost is the sum of this request's per-target
+			// ledgers, never the service's cumulative spend.
+			resp.TotalEpochs += r.Report.TotalEpochs()
+		}
+		resp.Results[i] = tr
+	}
+	if len(results) == 1 && results[0].Err != nil {
+		// The single-selection form is an RPC: its one failure is the
+		// request's failure, mapped to a proper HTTP status.
+		return nil, classify(results[0].Err)
+	}
+	resp.OfflineBuilds = d.svc.Builds()
+	resp.WallMillis = time.Since(start).Milliseconds()
+	return resp, nil
+}
+
+// Targets implements API.
+func (d *Dispatcher) Targets(ctx context.Context, task string) (*TargetsResponse, error) {
+	if task == "" {
+		return nil, errBadRequest("missing task")
+	}
+	names, err := d.svc.Targets(ctx, task)
+	if err != nil {
+		return nil, classify(err)
+	}
+	return &TargetsResponse{APIVersion: Version, Task: task, Targets: names}, nil
+}
+
+// Stats implements API.
+func (d *Dispatcher) Stats(context.Context) (*Stats, error) {
+	cost := d.svc.Cost()
+	st := &Stats{
+		APIVersion:    Version,
+		OfflineBuilds: d.svc.Builds(),
+		TotalEpochs:   cost.Total(),
+		TrainEpochs:   cost.TrainEpochs(),
+	}
+	if err := d.svc.PersistErr(); err != nil {
+		st.PersistDegraded = true
+		st.PersistError = err.Error()
+	}
+	return st, nil
+}

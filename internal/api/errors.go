@@ -1,0 +1,116 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"twophase/internal/datahub"
+	"twophase/internal/service"
+)
+
+// Typed, HTTP-mappable errors of the v1 contract. Every error the
+// dispatcher or client returns wraps exactly one of these sentinels, so
+// callers branch with errors.Is instead of string matching.
+var (
+	// ErrBadRequest marks a request the contract itself rejects: no
+	// targets, an unknown strategy name, an unparsable body.
+	ErrBadRequest = errors.New("api: bad request")
+	// ErrUnknownTask marks a task family outside {"nlp", "cv"}.
+	ErrUnknownTask = errors.New("api: unknown task")
+	// ErrUnknownTarget marks a target dataset not in the task's catalog.
+	ErrUnknownTarget = errors.New("api: unknown target")
+	// ErrCanceled marks a request whose context was canceled or timed out
+	// while the selection was in flight.
+	ErrCanceled = errors.New("api: request canceled")
+)
+
+// StatusClientClosedRequest is nginx's nonstandard 499 "client closed
+// request", the conventional status for work abandoned by the caller.
+const StatusClientClosedRequest = 499
+
+// classify maps lower-layer failures onto the contract's sentinels. An
+// error that is already one of the sentinels passes through unchanged;
+// anything unrecognized stays as-is and renders as an internal error.
+func classify(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrUnknownTask),
+		errors.Is(err, ErrUnknownTarget), errors.Is(err, ErrCanceled):
+		return err
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("%w: %v", ErrCanceled, err)
+	case errors.Is(err, service.ErrUnknownTask):
+		return fmt.Errorf("%w: %v", ErrUnknownTask, err)
+	case errors.Is(err, datahub.ErrUnknownDataset):
+		return fmt.Errorf("%w: %v", ErrUnknownTarget, err)
+	default:
+		return err
+	}
+}
+
+// HTTPStatus maps a contract error to its response status.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrUnknownTask), errors.Is(err, ErrUnknownTarget):
+		return http.StatusNotFound
+	case errors.Is(err, ErrCanceled):
+		return StatusClientClosedRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// Error codes of the wire format. The client reconstructs the matching
+// sentinel from the code, so errors.Is holds across the HTTP boundary.
+const (
+	CodeBadRequest    = "bad_request"
+	CodeUnknownTask   = "unknown_task"
+	CodeUnknownTarget = "unknown_target"
+	CodeCanceled      = "canceled"
+	CodeInternal      = "internal"
+)
+
+// Code returns the wire code for a contract error.
+func Code(err error) string {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return CodeBadRequest
+	case errors.Is(err, ErrUnknownTask):
+		return CodeUnknownTask
+	case errors.Is(err, ErrUnknownTarget):
+		return CodeUnknownTarget
+	case errors.Is(err, ErrCanceled):
+		return CodeCanceled
+	default:
+		return CodeInternal
+	}
+}
+
+// errBadRequest wraps a validation message in ErrBadRequest.
+func errBadRequest(msg string) error { return fmt.Errorf("%w: %s", ErrBadRequest, msg) }
+
+// errFromCode rebuilds a sentinel-wrapped error from a wire code and
+// message — the client-side inverse of Code.
+func errFromCode(code, msg string) error {
+	var sentinel error
+	switch code {
+	case CodeBadRequest:
+		sentinel = ErrBadRequest
+	case CodeUnknownTask:
+		sentinel = ErrUnknownTask
+	case CodeUnknownTarget:
+		sentinel = ErrUnknownTarget
+	case CodeCanceled:
+		sentinel = ErrCanceled
+	default:
+		return errors.New(msg)
+	}
+	return fmt.Errorf("%w: %s", sentinel, msg)
+}

@@ -1,0 +1,77 @@
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds a /v1/select request body; selection requests are
+// small JSON documents, so anything bigger is a client bug.
+const maxBodyBytes = 1 << 20
+
+// NewHandler mounts the v1 contract on an http.Handler:
+//
+//	POST /v1/select                  single or batch selection
+//	GET  /v1/tasks/{task}/targets    target catalog of a task family
+//	GET  /v1/healthz                 liveness
+//	GET  /v1/stats                   builds, cumulative cost, degradation
+//
+// Every response body is JSON; failures carry ErrorResponse with a
+// machine-readable code and the status from HTTPStatus.
+func NewHandler(a API) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/select", func(w http.ResponseWriter, r *http.Request) {
+		var req SelectRequest
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			writeError(w, errBadRequest(fmt.Sprintf("read body: %v", err)))
+			return
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, errBadRequest(fmt.Sprintf("decode body: %v", err)))
+			return
+		}
+		resp, err := a.Select(r.Context(), &req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/tasks/{task}/targets", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := a.Targets(r.Context(), r.PathValue("task"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Health{Status: "ok"})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		resp, err := a.Stats(r.Context())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status line is already written; an encode failure here can only
+	// be a broken connection, which the client sees anyway.
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, HTTPStatus(err), ErrorResponse{Error: err.Error(), Code: Code(err)})
+}

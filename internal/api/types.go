@@ -1,0 +1,117 @@
+// Package api is the versioned serving contract of the two-phase
+// selection system: request/response types shared bit-for-bit by the HTTP
+// server, the Go client and the CLI, typed HTTP-mappable errors, an
+// in-process dispatcher over service.Service, and the v1 net/http handler.
+//
+// The same API interface backs both transports, so a selection served
+// over HTTP is byte-identical to one served in process for the same seed.
+package api
+
+import "twophase/internal/core"
+
+// Version is the contract version stamped on every response.
+const Version = "v1"
+
+// SelectRequest asks for one or more target selections within a task
+// family. The zero values of the optional fields mean "service default".
+type SelectRequest struct {
+	// Task is the task family ("nlp" or "cv").
+	Task string `json:"task"`
+	// Targets are the target dataset names; a single-element slice is the
+	// single-selection form. A request with no targets is rejected with
+	// ErrBadRequest.
+	Targets []string `json:"targets"`
+	// Strategy picks the selection procedure: "two-phase" (default),
+	// "sh", "bf" or "ensemble".
+	Strategy string `json:"strategy,omitempty"`
+	// Seed optionally overrides the serving world seed; omitted or null
+	// means the server's configured seed. Frameworks are cached per
+	// (task, seed).
+	Seed *uint64 `json:"seed,omitempty"`
+	// Workers bounds per-stage training parallelism for this request
+	// (0 = server default). Results are identical across settings.
+	Workers int `json:"workers,omitempty"`
+	// EnsembleK is the ensemble size for strategy "ensemble"
+	// (0 = server default of 3).
+	EnsembleK int `json:"ensemble_k,omitempty"`
+}
+
+// TargetResult is one target's selection outcome. Exactly one of
+// Winner/Error is set; a batch reports per-target errors here instead of
+// failing the whole request.
+type TargetResult struct {
+	Target   string   `json:"target"`
+	Winner   string   `json:"winner,omitempty"`
+	Members  []string `json:"members,omitempty"` // ensemble strategy only
+	ValAcc   float64  `json:"val_acc,omitempty"`
+	TestAcc  float64  `json:"test_acc,omitempty"`
+	Epochs   float64  `json:"epochs,omitempty"`
+	Recalled int      `json:"recalled,omitempty"` // two-phase/ensemble only
+	Error    string   `json:"error,omitempty"`
+	// ErrorCode is the machine-readable code for Error ("unknown_target",
+	// "canceled", "internal", ...).
+	ErrorCode string `json:"error_code,omitempty"`
+}
+
+// SelectResponse is the whole selection document.
+type SelectResponse struct {
+	APIVersion string         `json:"api_version"`
+	Task       string         `json:"task"`
+	Strategy   string         `json:"strategy"`
+	Seed       uint64         `json:"seed"`
+	Results    []TargetResult `json:"results"`
+	// Failed counts the Results entries that carry an Error.
+	Failed int `json:"failed"`
+	// TotalEpochs is the summed cost of this request's per-target
+	// ledgers — not the service's cumulative spend, so reusing a warm
+	// service never overcounts a batch.
+	TotalEpochs float64 `json:"total_epochs"`
+	// OfflineBuilds is the serving process's lifetime offline-build
+	// count (0 on every store hit).
+	OfflineBuilds int   `json:"offline_builds"`
+	WallMillis    int64 `json:"wall_ms"`
+}
+
+// TargetsResponse lists a task family's target datasets in catalog order.
+type TargetsResponse struct {
+	APIVersion string   `json:"api_version"`
+	Task       string   `json:"task"`
+	Targets    []string `json:"targets"`
+}
+
+// Stats is the serving process's observability snapshot.
+type Stats struct {
+	APIVersion string `json:"api_version"`
+	// OfflineBuilds counts offline builds actually executed.
+	OfflineBuilds int `json:"offline_builds"`
+	// TotalEpochs / TrainEpochs are the cumulative cost of every
+	// selection served so far.
+	TotalEpochs float64 `json:"total_epochs"`
+	TrainEpochs int     `json:"train_epochs"`
+	// PersistDegraded reports that an artifact write failed and the
+	// service is serving frameworks from memory only; PersistError
+	// carries the most recent failure.
+	PersistDegraded bool   `json:"persist_degraded"`
+	PersistError    string `json:"persist_error,omitempty"`
+}
+
+// Health is the /v1/healthz body.
+type Health struct {
+	Status string `json:"status"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// parseStrategy validates a wire strategy name, mapping failures to
+// ErrBadRequest.
+func parseStrategy(s string) (core.Strategy, error) {
+	strat, err := core.ParseStrategy(s)
+	if err != nil {
+		return "", errBadRequest(err.Error())
+	}
+	return strat, nil
+}

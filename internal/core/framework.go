@@ -7,11 +7,12 @@
 // Typical use:
 //
 //	fw, err := core.Build(core.Options{Task: datahub.TaskNLP, Seed: 42})
-//	report, err := fw.SelectByName("tweet_eval")
+//	report, err := fw.SelectByName(ctx, "tweet_eval")
 //	fmt.Println(report.Outcome.Winner, report.TotalEpochs())
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"twophase/internal/datahub"
@@ -22,6 +23,11 @@ import (
 	"twophase/internal/synth"
 	"twophase/internal/trainer"
 )
+
+// ErrUnknownTask is the sentinel for task families outside {"nlp", "cv"},
+// re-exported from datahub so serving layers can map it to a not-found
+// response without importing the data layer.
+var ErrUnknownTask = datahub.ErrUnknownTask
 
 // Options configures the offline build.
 type Options struct {
@@ -206,15 +212,71 @@ func sameNames(got, want []string) error {
 	return nil
 }
 
-// Report is the result of one end-to-end two-phase selection.
+// Strategy names an online selection procedure the framework can serve.
+// It is the wire-level strategy identifier of the versioned selection API.
+type Strategy string
+
+const (
+	// StrategyTwoPhase is the paper's pipeline: coarse recall, then
+	// convergence-trend-guided fine selection. The default.
+	StrategyTwoPhase Strategy = "two-phase"
+	// StrategySH is successive halving over the whole repository.
+	StrategySH Strategy = "sh"
+	// StrategyBF is the brute-force baseline over the whole repository.
+	StrategyBF Strategy = "bf"
+	// StrategyEnsemble recalls candidates and soft-votes the top-k
+	// fine-selection survivors.
+	StrategyEnsemble Strategy = "ensemble"
+)
+
+// DefaultEnsembleK is the ensemble size used when a request leaves it
+// unset (the k=3 configuration of the §VII extension experiments).
+const DefaultEnsembleK = 3
+
+// ParseStrategy maps a wire name to a Strategy; the empty string means
+// StrategyTwoPhase. Unknown names return an error naming the valid set.
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case "", StrategyTwoPhase:
+		return StrategyTwoPhase, nil
+	case StrategySH, StrategyBF, StrategyEnsemble:
+		return Strategy(s), nil
+	default:
+		return "", fmt.Errorf("core: unknown strategy %q (want %q, %q, %q or %q)",
+			s, StrategyTwoPhase, StrategySH, StrategyBF, StrategyEnsemble)
+	}
+}
+
+// SelectOptions tunes one online selection request.
+type SelectOptions struct {
+	// Strategy picks the procedure; empty means StrategyTwoPhase.
+	Strategy Strategy
+	// Workers overrides the framework's per-stage training parallelism
+	// for this request (0 keeps the framework default). Outcomes are
+	// bit-identical across worker counts.
+	Workers int
+	// EnsembleK is the ensemble size for StrategyEnsemble
+	// (0 means DefaultEnsembleK; ignored by the other strategies).
+	EnsembleK int
+}
+
+// Report is the result of one end-to-end online selection.
 type Report struct {
 	// Target is the target dataset's name.
 	Target string
-	// Recall is the coarse-recall phase result.
+	// Strategy is the procedure that produced this report.
+	Strategy Strategy
+	// Recall is the coarse-recall phase result (nil for the sh and bf
+	// strategies, which search the whole repository).
 	Recall *recall.Result
-	// Outcome is the fine-selection phase result.
+	// Outcome is the fine-selection phase result. For StrategyEnsemble it
+	// carries the soft-voting ensemble's accuracies and the best member
+	// as Winner.
 	Outcome *selection.Outcome
-	// Ledger is the combined cost of both phases.
+	// Members are the ensembled model names, best validation first
+	// (StrategyEnsemble only).
+	Members []string
+	// Ledger is the combined cost of all phases.
 	Ledger trainer.Ledger
 }
 
@@ -223,57 +285,141 @@ type Report struct {
 func (r *Report) TotalEpochs() float64 { return r.Ledger.Total() }
 
 // Select runs the full online pipeline (coarse recall, then fine
-// selection) for a target dataset.
-func (f *Framework) Select(target *datahub.Dataset) (*Report, error) {
-	var ledger trainer.Ledger
-	rr, err := f.offline.Recall(f.Repo, target, &ledger)
-	if err != nil {
-		return nil, fmt.Errorf("core: coarse recall on %s: %w", target.Name, err)
-	}
-	candidates, err := f.Repo.Subset(rr.Recalled)
-	if err != nil {
+// selection) for a target dataset. A canceled context aborts the
+// selection mid-round with ctx.Err().
+func (f *Framework) Select(ctx context.Context, target *datahub.Dataset) (*Report, error) {
+	return f.SelectWith(ctx, target, SelectOptions{})
+}
+
+// SelectWith is the single dispatch point for every online selection
+// strategy: it routes the request to the paper's two-phase pipeline, the
+// SH or BF baselines, or the ensemble extension, and renders each as a
+// uniform Report. Callers should route through here rather than
+// hard-wiring individual Framework methods.
+func (f *Framework) SelectWith(ctx context.Context, target *datahub.Dataset, opts SelectOptions) (*Report, error) {
+	// Refuse dead requests before the recall phase too — proxy-scoring
+	// the repository is cheap per model but not free across a batch.
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	out, err := selection.FineSelect(candidates.Models(), target, selection.FineSelectOptions{
-		Config: selection.Config{HP: f.HP, Seed: f.Seed, Salt: "two-phase", Workers: f.Workers},
-		Matrix: f.Matrix,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: fine selection on %s: %w", target.Name, err)
+	strat := opts.Strategy
+	if strat == "" {
+		strat = StrategyTwoPhase
 	}
-	ledger.Add(out.Ledger)
-	return &Report{Target: target.Name, Recall: rr, Outcome: out, Ledger: ledger}, nil
+	workers := opts.Workers
+	if workers == 0 {
+		workers = f.Workers
+	}
+	switch strat {
+	case StrategyTwoPhase:
+		var ledger trainer.Ledger
+		rr, err := f.offline.Recall(f.Repo, target, &ledger)
+		if err != nil {
+			return nil, fmt.Errorf("core: coarse recall on %s: %w", target.Name, err)
+		}
+		candidates, err := f.Repo.Subset(rr.Recalled)
+		if err != nil {
+			return nil, err
+		}
+		out, err := selection.FineSelect(ctx, candidates.Models(), target, selection.FineSelectOptions{
+			Config: selection.Config{HP: f.HP, Seed: f.Seed, Salt: "two-phase", Workers: workers},
+			Matrix: f.Matrix,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: fine selection on %s: %w", target.Name, err)
+		}
+		ledger.Add(out.Ledger)
+		return &Report{Target: target.Name, Strategy: strat, Recall: rr, Outcome: out, Ledger: ledger}, nil
+	case StrategySH:
+		out, err := selection.SuccessiveHalving(ctx, f.Repo.Models(), target,
+			selection.Config{HP: f.HP, Seed: f.Seed, Salt: "successive-halving", Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		return &Report{Target: target.Name, Strategy: strat, Outcome: out, Ledger: out.Ledger}, nil
+	case StrategyBF:
+		out, err := selection.BruteForce(ctx, f.Repo.Models(), target,
+			selection.Config{HP: f.HP, Seed: f.Seed, Salt: "brute-force", Workers: workers})
+		if err != nil {
+			return nil, err
+		}
+		return &Report{Target: target.Name, Strategy: strat, Outcome: out, Ledger: out.Ledger}, nil
+	case StrategyEnsemble:
+		k := opts.EnsembleK
+		if k <= 0 {
+			k = DefaultEnsembleK
+		}
+		var ledger trainer.Ledger
+		rr, err := f.offline.Recall(f.Repo, target, &ledger)
+		if err != nil {
+			return nil, fmt.Errorf("core: coarse recall on %s: %w", target.Name, err)
+		}
+		candidates, err := f.Repo.Subset(rr.Recalled)
+		if err != nil {
+			return nil, err
+		}
+		ens, err := selection.EnsembleSelect(ctx, candidates.Models(), target, selection.FineSelectOptions{
+			Config: selection.Config{HP: f.HP, Seed: f.Seed, Salt: "two-phase", Workers: workers},
+			Matrix: f.Matrix,
+		}, k)
+		if err != nil {
+			return nil, fmt.Errorf("core: ensemble selection on %s: %w", target.Name, err)
+		}
+		ledger.Add(ens.Ledger)
+		return &Report{
+			Target:   target.Name,
+			Strategy: strat,
+			Recall:   rr,
+			Outcome: &selection.Outcome{
+				Winner:     ens.Members[0],
+				WinnerVal:  ens.EnsembleVal,
+				WinnerTest: ens.EnsembleTest,
+				Ledger:     ens.Ledger,
+				Stages:     ens.Stages,
+			},
+			Members: ens.Members,
+			Ledger:  ledger,
+		}, nil
+	default:
+		if _, err := ParseStrategy(string(strat)); err != nil {
+			return nil, err
+		}
+		panic("unreachable")
+	}
 }
 
 // SelectByName resolves the target from the framework's catalog and runs
 // Select.
-func (f *Framework) SelectByName(name string) (*Report, error) {
+func (f *Framework) SelectByName(ctx context.Context, name string) (*Report, error) {
 	d, err := f.Catalog.Get(name)
 	if err != nil {
 		return nil, err
 	}
-	return f.Select(d)
+	return f.Select(ctx, d)
 }
 
 // BruteForce runs the brute-force baseline over the whole repository for
 // a target (Table VI's BF row).
-func (f *Framework) BruteForce(target *datahub.Dataset) (*selection.Outcome, error) {
-	return selection.BruteForce(f.Repo.Models(), target, selection.Config{HP: f.HP, Seed: f.Seed, Salt: "brute-force"})
+func (f *Framework) BruteForce(ctx context.Context, target *datahub.Dataset) (*selection.Outcome, error) {
+	return selection.BruteForce(ctx, f.Repo.Models(), target, selection.Config{HP: f.HP, Seed: f.Seed, Salt: "brute-force"})
 }
 
 // SuccessiveHalving runs the SH baseline over the whole repository for a
 // target (Table VI's SH row).
-func (f *Framework) SuccessiveHalving(target *datahub.Dataset) (*selection.Outcome, error) {
-	return selection.SuccessiveHalving(f.Repo.Models(), target, selection.Config{HP: f.HP, Seed: f.Seed, Salt: "successive-halving"})
+func (f *Framework) SuccessiveHalving(ctx context.Context, target *datahub.Dataset) (*selection.Outcome, error) {
+	return selection.SuccessiveHalving(ctx, f.Repo.Models(), target, selection.Config{HP: f.HP, Seed: f.Seed, Salt: "successive-halving"})
 }
 
 // OracleAccuracies brute-force fine-tunes every repository model on the
 // target and returns each model's final test accuracy — the ground truth
 // used by the evaluation (Fig. 1, Fig. 5, Table VII). It is an
 // experiment-support utility, not part of the selection pipeline.
-func (f *Framework) OracleAccuracies(target *datahub.Dataset) (map[string]float64, error) {
+func (f *Framework) OracleAccuracies(ctx context.Context, target *datahub.Dataset) (map[string]float64, error) {
 	out := make(map[string]float64, f.Repo.Len())
 	for _, m := range f.Repo.Models() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		curve, err := trainer.FineTune(m, target, f.HP, f.Seed, "oracle")
 		if err != nil {
 			return nil, err

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"sync"
 	"testing"
 
@@ -62,7 +64,7 @@ func TestBuildDefaultTask(t *testing.T) {
 
 func TestSelectEndToEnd(t *testing.T) {
 	fw := sharedNLP(t)
-	report, err := fw.SelectByName("tweet_eval")
+	report, err := fw.SelectByName(context.Background(), "tweet_eval")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,11 +97,11 @@ func TestSelectEndToEnd(t *testing.T) {
 
 func TestSelectDeterministic(t *testing.T) {
 	fw := sharedNLP(t)
-	a, err := fw.SelectByName("super_glue/boolq")
+	a, err := fw.SelectByName(context.Background(), "super_glue/boolq")
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := fw.SelectByName("super_glue/boolq")
+	b, err := fw.SelectByName(context.Background(), "super_glue/boolq")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +112,7 @@ func TestSelectDeterministic(t *testing.T) {
 
 func TestSelectUnknownTarget(t *testing.T) {
 	fw := sharedNLP(t)
-	if _, err := fw.SelectByName("no-such-dataset"); err == nil {
+	if _, err := fw.SelectByName(context.Background(), "no-such-dataset"); err == nil {
 		t.Fatal("unknown target accepted")
 	}
 }
@@ -121,11 +123,11 @@ func TestBaselinesBeatNothing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bf, err := fw.BruteForce(d)
+	bf, err := fw.BruteForce(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := fw.SuccessiveHalving(d)
+	sh, err := fw.SuccessiveHalving(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +137,7 @@ func TestBaselinesBeatNothing(t *testing.T) {
 	if sh.Ledger.TrainEpochs() != 77 {
 		t.Fatalf("SH cost %d, paper reports 77 for 40 models", sh.Ledger.TrainEpochs())
 	}
-	report, err := fw.Select(d)
+	report, err := fw.Select(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,11 +152,11 @@ func TestSelectedModelNearBruteForce(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	report, err := fw.Select(d)
+	report, err := fw.Select(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oracle, err := fw.OracleAccuracies(d)
+	oracle, err := fw.OracleAccuracies(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +178,7 @@ func TestOracleAccuracies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	oracle, err := fw.OracleAccuracies(d)
+	oracle, err := fw.OracleAccuracies(context.Background(), d)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,21 @@
 package datahub
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"twophase/internal/synth"
 )
+
+// ErrUnknownDataset is the sentinel wrapped by catalog lookups for names
+// that are not in the catalog, so serving layers can map "no such target"
+// to a not-found response without string matching.
+var ErrUnknownDataset = errors.New("datahub: unknown dataset")
+
+// ErrUnknownTask is the sentinel wrapped for task families outside
+// {"nlp", "cv"}.
+var ErrUnknownTask = errors.New("datahub: unknown task")
 
 // Semantic domains of the synthetic world. NLP and CV domains are disjoint
 // except for the per-task core domain added automatically by Generate.
@@ -158,7 +168,7 @@ func NewTaskCatalog(w *synth.World, task string, sizes Sizes) (*Catalog, error) 
 	case TaskCV:
 		return NewCatalog(w, sizes, CVBenchmarks(), CVTargets())
 	default:
-		return nil, fmt.Errorf("datahub: unknown task %q", task)
+		return nil, fmt.Errorf("%w %q", ErrUnknownTask, task)
 	}
 }
 
@@ -166,7 +176,7 @@ func NewTaskCatalog(w *synth.World, task string, sizes Sizes) (*Catalog, error) 
 func (c *Catalog) Get(name string) (*Dataset, error) {
 	d, ok := c.byName[name]
 	if !ok {
-		return nil, fmt.Errorf("datahub: dataset %q not in catalog", name)
+		return nil, fmt.Errorf("%w: dataset %q not in catalog", ErrUnknownDataset, name)
 	}
 	return d, nil
 }

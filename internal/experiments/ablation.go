@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"twophase/internal/cluster"
 	"twophase/internal/datahub"
 	"twophase/internal/numeric"
@@ -160,7 +162,7 @@ func AblationTrendFilter(e *Env) (*Table, error) {
 			{"with trend filter", false},
 			{"halving only", true},
 		} {
-			out, err := selection.FineSelect(cand.Models(), d, selection.FineSelectOptions{
+			out, err := selection.FineSelect(context.Background(), cand.Models(), d, selection.FineSelectOptions{
 				Config:             selection.Config{HP: fw.HP, Seed: e.Seed, Salt: "two-phase"},
 				Matrix:             fw.Matrix,
 				DisableTrendFilter: variant.disable,

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 
@@ -26,15 +28,15 @@ func Table6(e *Env) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		report, err := fw.Select(d)
+		report, err := fw.Select(context.Background(), d)
 		if err != nil {
 			return nil, err
 		}
-		bf, err := fw.BruteForce(d)
+		bf, err := fw.BruteForce(context.Background(), d)
 		if err != nil {
 			return nil, err
 		}
-		sh, err := fw.SuccessiveHalving(d)
+		sh, err := fw.SuccessiveHalving(context.Background(), d)
 		if err != nil {
 			return nil, err
 		}

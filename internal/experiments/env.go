@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"sync"
 
@@ -70,7 +72,7 @@ func (e *Env) Oracle(task, dataset string) (map[string]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	o, err := fw.OracleAccuracies(d)
+	o, err := fw.OracleAccuracies(context.Background(), d)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"twophase/internal/cluster"
@@ -42,11 +44,11 @@ func ExtEnsemble(e *Env) (*Table, error) {
 			Config: selection.Config{HP: fw.HP, Seed: e.Seed, Salt: "two-phase"},
 			Matrix: fw.Matrix,
 		}
-		single, err := selection.FineSelect(cand.Models(), d, opts)
+		single, err := selection.FineSelect(context.Background(), cand.Models(), d, opts)
 		if err != nil {
 			return nil, err
 		}
-		ens, err := selection.EnsembleSelect(cand.Models(), d, opts, k)
+		ens, err := selection.EnsembleSelect(context.Background(), cand.Models(), d, opts, k)
 		if err != nil {
 			return nil, err
 		}
@@ -86,11 +88,11 @@ func ExtRobustness(*Env) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			report, err := fw.Select(d)
+			report, err := fw.Select(context.Background(), d)
 			if err != nil {
 				return nil, err
 			}
-			bf, err := fw.BruteForce(d)
+			bf, err := fw.BruteForce(context.Background(), d)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 	"math"
 	"sort"
@@ -134,7 +136,7 @@ func Fig8(e *Env) (*Table, error) {
 		{"default lr", trainer.Default(datahub.TaskNLP)},
 		{"low lr", trainer.LowLR(datahub.TaskNLP)},
 	} {
-		out, err := selection.FineSelect(cand.Models(), d, selection.FineSelectOptions{
+		out, err := selection.FineSelect(context.Background(), cand.Models(), d, selection.FineSelectOptions{
 			Config: selection.Config{HP: hp.hp, Seed: e.Seed, Salt: "fig8-" + hp.name},
 			Matrix: fw.Matrix,
 		})
@@ -322,7 +324,7 @@ func Table4(e *Env) (*Table, error) {
 		accRow := []interface{}{tgt.label, "accuracy"}
 		timeRow := []interface{}{tgt.label, "runtime"}
 		for _, th := range thresholds {
-			out, err := selection.FineSelect(cand.Models(), d, selection.FineSelectOptions{
+			out, err := selection.FineSelect(context.Background(), cand.Models(), d, selection.FineSelectOptions{
 				Config:    selection.Config{HP: fw.HP, Seed: e.Seed, Salt: "two-phase"},
 				Matrix:    fw.Matrix,
 				Threshold: th,
@@ -397,11 +399,11 @@ func Fig7(e *Env) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			sh, err := selection.SuccessiveHalving(cand.Models(), d, selection.Config{HP: fw.HP, Seed: e.Seed, Salt: "successive-halving"})
+			sh, err := selection.SuccessiveHalving(context.Background(), cand.Models(), d, selection.Config{HP: fw.HP, Seed: e.Seed, Salt: "successive-halving"})
 			if err != nil {
 				return nil, err
 			}
-			fs, err := selection.FineSelect(cand.Models(), d, selection.FineSelectOptions{
+			fs, err := selection.FineSelect(context.Background(), cand.Models(), d, selection.FineSelectOptions{
 				Config: selection.Config{HP: fw.HP, Seed: e.Seed, Salt: "two-phase"},
 				Matrix: fw.Matrix,
 			})
@@ -452,11 +454,11 @@ func Table5(e *Env) (*Table, error) {
 				return nil, err
 			}
 			bfEpochs := len(pool.models) * fw.HP.Epochs
-			sh, err := selection.SuccessiveHalving(cand.Models(), d, selection.Config{HP: fw.HP, Seed: e.Seed, Salt: "successive-halving"})
+			sh, err := selection.SuccessiveHalving(context.Background(), cand.Models(), d, selection.Config{HP: fw.HP, Seed: e.Seed, Salt: "successive-halving"})
 			if err != nil {
 				return nil, err
 			}
-			fs, err := selection.FineSelect(cand.Models(), d, selection.FineSelectOptions{
+			fs, err := selection.FineSelect(context.Background(), cand.Models(), d, selection.FineSelectOptions{
 				Config: selection.Config{HP: fw.HP, Seed: e.Seed, Salt: "two-phase"},
 				Matrix: fw.Matrix,
 			})

@@ -9,6 +9,7 @@
 package selection
 
 import (
+	"context"
 	"fmt"
 
 	"twophase/internal/datahub"
@@ -98,23 +99,27 @@ func newRuns(models []*modelhub.Model, d *datahub.Dataset, cfg Config) (map[stri
 }
 
 // BruteForce fine-tunes every model for the full epoch budget and selects
-// the best final validation accuracy. Cost: |M| * Epochs.
-func BruteForce(models []*modelhub.Model, d *datahub.Dataset, cfg Config) (*Outcome, error) {
+// the best final validation accuracy. Cost: |M| * Epochs. A canceled
+// context aborts mid-pool with ctx.Err().
+func BruteForce(ctx context.Context, models []*modelhub.Model, d *datahub.Dataset, cfg Config) (*Outcome, error) {
 	runs, err := newRuns(models, d, cfg)
 	if err != nil {
 		return nil, err
 	}
 	pool := names(models)
 	out := &Outcome{Stages: [][]string{pool}}
-	trainStage(runs, pool, cfg.HP.Epochs, cfg.workers(), &out.Ledger)
+	if _, err := trainStage(ctx, runs, pool, cfg.HP.Epochs, cfg.workers(), &out.Ledger); err != nil {
+		return nil, err
+	}
 	return finish(out, pool, runs)
 }
 
 // SuccessiveHalving trains every surviving model one epoch per stage and
 // keeps the top half by validation accuracy (Jamieson & Talwalkar 2016,
 // the paper's SH baseline). Ties keep the earlier model in pool order so
-// results are deterministic.
-func SuccessiveHalving(models []*modelhub.Model, d *datahub.Dataset, cfg Config) (*Outcome, error) {
+// results are deterministic. A canceled context aborts between stages or
+// pool members with ctx.Err().
+func SuccessiveHalving(ctx context.Context, models []*modelhub.Model, d *datahub.Dataset, cfg Config) (*Outcome, error) {
 	runs, err := newRuns(models, d, cfg)
 	if err != nil {
 		return nil, err
@@ -123,7 +128,10 @@ func SuccessiveHalving(models []*modelhub.Model, d *datahub.Dataset, cfg Config)
 	out := &Outcome{}
 	for _, stageLen := range cfg.stagePlan() {
 		out.Stages = append(out.Stages, append([]string(nil), pool...))
-		vals := trainStage(runs, pool, stageLen, cfg.workers(), &out.Ledger)
+		vals, err := trainStage(ctx, runs, pool, stageLen, cfg.workers(), &out.Ledger)
+		if err != nil {
+			return nil, err
+		}
 		if len(pool) > 1 {
 			keep := len(pool) / 2
 			if keep < 1 {

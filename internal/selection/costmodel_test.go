@@ -1,6 +1,8 @@
 package selection
 
 import (
+	"context"
+
 	"testing"
 	"testing/quick"
 )
@@ -50,7 +52,7 @@ func TestPredictSHMatchesActual(t *testing.T) {
 	models, _, target, cfg := fixture(t)
 	for _, s := range []int{1, 2} {
 		cfg.StageEpochs = s
-		out, err := SuccessiveHalving(models, target, cfg)
+		out, err := SuccessiveHalving(context.Background(), models, target, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -63,7 +65,7 @@ func TestPredictSHMatchesActual(t *testing.T) {
 
 func TestPredictFSBoundsActual(t *testing.T) {
 	models, m, target, cfg := fixture(t)
-	out, err := FineSelect(models, target, FineSelectOptions{Config: cfg, Matrix: m})
+	out, err := FineSelect(context.Background(), models, target, FineSelectOptions{Config: cfg, Matrix: m})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package selection
 
 import (
+	"context"
 	"fmt"
 
 	"twophase/internal/datahub"
@@ -32,8 +33,9 @@ type EnsembleOutcome struct {
 // the pool at k models, trains the survivors to the full budget, and
 // returns their soft-voting ensemble. With k=1 it degenerates to
 // FineSelect. The paper positions multi-model selection as a drop-in
-// extension of the fine-selection phase (§VI, §VII).
-func EnsembleSelect(models []*modelhub.Model, d *datahub.Dataset, opts FineSelectOptions, k int) (*EnsembleOutcome, error) {
+// extension of the fine-selection phase (§VI, §VII). A canceled context
+// aborts mid-stage with ctx.Err().
+func EnsembleSelect(ctx context.Context, models []*modelhub.Model, d *datahub.Dataset, opts FineSelectOptions, k int) (*EnsembleOutcome, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("selection: ensemble size %d < 1", k)
 	}
@@ -47,12 +49,9 @@ func EnsembleSelect(models []*modelhub.Model, d *datahub.Dataset, opts FineSelec
 	completed := 0
 	for _, stageLen := range opts.stagePlan() {
 		out.Stages = append(out.Stages, append([]string(nil), pool...))
-		vals := make([]float64, len(pool))
-		for i, name := range pool {
-			for e := 0; e < stageLen; e++ {
-				vals[i] = runs[name].TrainEpoch()
-				out.Ledger.ChargeEpochs(1)
-			}
+		vals, err := trainStage(ctx, runs, pool, stageLen, opts.workers(), &out.Ledger)
+		if err != nil {
+			return nil, err
 		}
 		completed += stageLen
 		stage := completed - 1

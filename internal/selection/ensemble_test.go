@@ -1,6 +1,8 @@
 package selection
 
 import (
+	"context"
+
 	"testing"
 
 	"twophase/internal/trainer"
@@ -9,7 +11,7 @@ import (
 func TestEnsembleSelectBasics(t *testing.T) {
 	models, m, target, cfg := fixture(t)
 	opts := FineSelectOptions{Config: cfg, Matrix: m}
-	out, err := EnsembleSelect(models, target, opts, 3)
+	out, err := EnsembleSelect(context.Background(), models, target, opts, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +40,7 @@ func TestEnsembleSelectBasics(t *testing.T) {
 
 func TestEnsembleSelectKeepsAtLeastK(t *testing.T) {
 	models, m, target, cfg := fixture(t)
-	out, err := EnsembleSelect(models, target, FineSelectOptions{Config: cfg, Matrix: m}, 4)
+	out, err := EnsembleSelect(context.Background(), models, target, FineSelectOptions{Config: cfg, Matrix: m}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func TestEnsembleSelectKeepsAtLeastK(t *testing.T) {
 
 func TestEnsembleSelectInvalidK(t *testing.T) {
 	models, m, target, cfg := fixture(t)
-	if _, err := EnsembleSelect(models, target, FineSelectOptions{Config: cfg, Matrix: m}, 0); err == nil {
+	if _, err := EnsembleSelect(context.Background(), models, target, FineSelectOptions{Config: cfg, Matrix: m}, 0); err == nil {
 		t.Fatal("k=0 accepted")
 	}
 }
@@ -59,11 +61,11 @@ func TestEnsembleSelectInvalidK(t *testing.T) {
 func TestEnsembleCostsMoreThanSingle(t *testing.T) {
 	models, m, target, cfg := fixture(t)
 	opts := FineSelectOptions{Config: cfg, Matrix: m}
-	single, err := FineSelect(models, target, opts)
+	single, err := FineSelect(context.Background(), models, target, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ens, err := EnsembleSelect(models, target, opts, 3)
+	ens, err := EnsembleSelect(context.Background(), models, target, opts, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func TestEnsembleCostsMoreThanSingle(t *testing.T) {
 func TestEnsembleK1MatchesFineSelectWinnerQuality(t *testing.T) {
 	models, m, target, cfg := fixture(t)
 	opts := FineSelectOptions{Config: cfg, Matrix: m}
-	ens, err := EnsembleSelect(models, target, opts, 1)
+	ens, err := EnsembleSelect(context.Background(), models, target, opts, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestStageEpochsPlan(t *testing.T) {
 func TestStageEpochsReducesStages(t *testing.T) {
 	models, m, target, cfg := fixture(t)
 	cfg.StageEpochs = 2
-	out, err := FineSelect(models, target, FineSelectOptions{Config: cfg, Matrix: m})
+	out, err := FineSelect(context.Background(), models, target, FineSelectOptions{Config: cfg, Matrix: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,14 +125,14 @@ func TestStageEpochsReducesStages(t *testing.T) {
 func TestStageEpochsSHConsistency(t *testing.T) {
 	models, _, target, cfg := fixture(t)
 	cfg.StageEpochs = 5 // one stage: SH degenerates to brute force + argmax
-	sh, err := SuccessiveHalving(models, target, cfg)
+	sh, err := SuccessiveHalving(context.Background(), models, target, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sh.Ledger.TrainEpochs() != len(models)*cfg.HP.Epochs {
 		t.Fatalf("single-stage SH cost %d", sh.Ledger.TrainEpochs())
 	}
-	bf, err := BruteForce(models, target, cfg)
+	bf, err := BruteForce(context.Background(), models, target, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

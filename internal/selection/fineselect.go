@@ -1,6 +1,8 @@
 package selection
 
 import (
+	"context"
+
 	"twophase/internal/datahub"
 	"twophase/internal/modelhub"
 	"twophase/internal/numeric"
@@ -29,8 +31,10 @@ type FineSelectOptions struct {
 
 // FineSelect runs Algorithm 1: staged training with convergence-trend
 // prediction (Eq. 5/6), trend-based fine-filtering, and a halving
-// backstop, returning a single fully trained model.
-func FineSelect(models []*modelhub.Model, d *datahub.Dataset, opts FineSelectOptions) (*Outcome, error) {
+// backstop, returning a single fully trained model. A canceled context
+// aborts between epochs-of-one-model with ctx.Err(); with an uncanceled
+// context the outcome is bit-identical to the historical signature.
+func FineSelect(ctx context.Context, models []*modelhub.Model, d *datahub.Dataset, opts FineSelectOptions) (*Outcome, error) {
 	runs, err := newRuns(models, d, opts.Config)
 	if err != nil {
 		return nil, err
@@ -41,7 +45,10 @@ func FineSelect(models []*modelhub.Model, d *datahub.Dataset, opts FineSelectOpt
 	completed := 0
 	for _, stageLen := range opts.stagePlan() {
 		out.Stages = append(out.Stages, append([]string(nil), pool...))
-		vals := trainStage(runs, pool, stageLen, opts.workers(), &out.Ledger)
+		vals, err := trainStage(ctx, runs, pool, stageLen, opts.workers(), &out.Ledger)
+		if err != nil {
+			return nil, err
+		}
 		completed += stageLen
 		// stage is the offline-curve epoch index matching the validation
 		// accuracy just measured, for trend lookup.

@@ -1,6 +1,7 @@
 package selection
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -15,19 +16,27 @@ import (
 // state, and results merge by fixed pool index. The stage's epoch cost is
 // charged to the ledger once, after the barrier, so ledger contents do not
 // depend on goroutine scheduling.
-func trainStage(runs map[string]*trainer.Run, pool []string, stageLen, workers int, ledger *trainer.Ledger) []float64 {
+//
+// The context is observed between pool members (sequentially) or between
+// work pickups (in parallel): a canceled context aborts the stage with
+// ctx.Err() instead of burning the remaining members' epochs. A canceled
+// stage charges nothing — its partial results are discarded by the caller.
+func trainStage(ctx context.Context, runs map[string]*trainer.Run, pool []string, stageLen, workers int, ledger *trainer.Ledger) ([]float64, error) {
 	vals := make([]float64, len(pool))
 	if workers > len(pool) {
 		workers = len(pool)
 	}
 	if workers <= 1 {
 		for i, name := range pool {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			for e := 0; e < stageLen; e++ {
 				vals[i] = runs[name].TrainEpoch()
 			}
 		}
 		ledger.ChargeEpochs(len(pool) * stageLen)
-		return vals
+		return vals, nil
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -43,13 +52,21 @@ func trainStage(runs map[string]*trainer.Run, pool []string, stageLen, workers i
 			}
 		}()
 	}
+feed:
 	for i := range pool {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ledger.ChargeEpochs(len(pool) * stageLen)
-	return vals
+	return vals, nil
 }
 
 // workers resolves Config.Workers: 0 or 1 means sequential, negative means

@@ -1,6 +1,8 @@
 package selection
 
 import (
+	"context"
+
 	"reflect"
 	"testing"
 
@@ -46,11 +48,11 @@ func TestFineSelectParallelGolden(t *testing.T) {
 		seqCfg, parCfg := cfg, cfg
 		seqCfg.Workers = 1
 		parCfg.Workers = workers
-		seq, err := FineSelect(models, d, FineSelectOptions{Config: seqCfg, Matrix: m})
+		seq, err := FineSelect(context.Background(), models, d, FineSelectOptions{Config: seqCfg, Matrix: m})
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := FineSelect(models, d, FineSelectOptions{Config: parCfg, Matrix: m})
+		par, err := FineSelect(context.Background(), models, d, FineSelectOptions{Config: parCfg, Matrix: m})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -65,11 +67,11 @@ func TestSuccessiveHalvingParallelGolden(t *testing.T) {
 	seqCfg, parCfg := cfg, cfg
 	seqCfg.Workers = 0
 	parCfg.Workers = 4
-	seq, err := SuccessiveHalving(models, d, seqCfg)
+	seq, err := SuccessiveHalving(context.Background(), models, d, seqCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := SuccessiveHalving(models, d, parCfg)
+	par, err := SuccessiveHalving(context.Background(), models, d, parCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,11 +84,11 @@ func TestBruteForceParallelGolden(t *testing.T) {
 	models, d, _, cfg := parallelFixture(t)
 	seqCfg, parCfg := cfg, cfg
 	parCfg.Workers = 4
-	seq, err := BruteForce(models, d, seqCfg)
+	seq, err := BruteForce(context.Background(), models, d, seqCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := BruteForce(models, d, parCfg)
+	par, err := BruteForce(context.Background(), models, d, parCfg)
 	if err != nil {
 		t.Fatal(err)
 	}

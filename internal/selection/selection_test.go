@@ -1,6 +1,8 @@
 package selection
 
 import (
+	"context"
+
 	"testing"
 
 	"twophase/internal/datahub"
@@ -40,7 +42,7 @@ func fixture(t *testing.T) ([]*modelhub.Model, *perfmatrix.Matrix, *datahub.Data
 
 func TestBruteForceCost(t *testing.T) {
 	models, _, target, cfg := fixture(t)
-	out, err := BruteForce(models, target, cfg)
+	out, err := BruteForce(context.Background(), models, target, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func pick(models []*modelhub.Model, name string) *modelhub.Model {
 
 func TestSuccessiveHalvingSchedule(t *testing.T) {
 	models, _, target, cfg := fixture(t)
-	out, err := SuccessiveHalving(models, target, cfg)
+	out, err := SuccessiveHalving(context.Background(), models, target, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +96,11 @@ func TestSuccessiveHalvingSchedule(t *testing.T) {
 
 func TestSuccessiveHalvingDeterministic(t *testing.T) {
 	models, _, target, cfg := fixture(t)
-	a, err := SuccessiveHalving(models, target, cfg)
+	a, err := SuccessiveHalving(context.Background(), models, target, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SuccessiveHalving(models, target, cfg)
+	b, err := SuccessiveHalving(context.Background(), models, target, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,11 +111,11 @@ func TestSuccessiveHalvingDeterministic(t *testing.T) {
 
 func TestFineSelectCheaperThanSH(t *testing.T) {
 	models, m, target, cfg := fixture(t)
-	sh, err := SuccessiveHalving(models, target, cfg)
+	sh, err := SuccessiveHalving(context.Background(), models, target, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs, err := FineSelect(models, target, FineSelectOptions{Config: cfg, Matrix: m})
+	fs, err := FineSelect(context.Background(), models, target, FineSelectOptions{Config: cfg, Matrix: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,11 +129,11 @@ func TestFineSelectCheaperThanSH(t *testing.T) {
 
 func TestFineSelectWithoutMatrixEqualsSH(t *testing.T) {
 	models, _, target, cfg := fixture(t)
-	fs, err := FineSelect(models, target, FineSelectOptions{Config: cfg})
+	fs, err := FineSelect(context.Background(), models, target, FineSelectOptions{Config: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
-	sh, err := SuccessiveHalving(models, target, cfg)
+	sh, err := SuccessiveHalving(context.Background(), models, target, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +147,7 @@ func TestFineSelectWithoutMatrixEqualsSH(t *testing.T) {
 
 func TestFineSelectHalvingBackstop(t *testing.T) {
 	models, m, target, cfg := fixture(t)
-	out, err := FineSelect(models, target, FineSelectOptions{Config: cfg, Matrix: m})
+	out, err := FineSelect(context.Background(), models, target, FineSelectOptions{Config: cfg, Matrix: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +166,7 @@ func TestFineSelectThresholdMonotoneCost(t *testing.T) {
 	models, m, target, cfg := fixture(t)
 	prev := -1
 	for _, th := range []float64{0, 0.05, 0.2} {
-		out, err := FineSelect(models, target, FineSelectOptions{Config: cfg, Matrix: m, Threshold: th})
+		out, err := FineSelect(context.Background(), models, target, FineSelectOptions{Config: cfg, Matrix: m, Threshold: th})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -177,11 +179,11 @@ func TestFineSelectThresholdMonotoneCost(t *testing.T) {
 
 func TestSelectionErrors(t *testing.T) {
 	models, m, target, cfg := fixture(t)
-	if _, err := BruteForce(nil, target, cfg); err == nil {
+	if _, err := BruteForce(context.Background(), nil, target, cfg); err == nil {
 		t.Fatal("empty pool accepted")
 	}
 	dup := []*modelhub.Model{models[0], models[0]}
-	if _, err := SuccessiveHalving(dup, target, cfg); err == nil {
+	if _, err := SuccessiveHalving(context.Background(), dup, target, cfg); err == nil {
 		t.Fatal("duplicate models accepted")
 	}
 	_ = m
@@ -189,7 +191,7 @@ func TestSelectionErrors(t *testing.T) {
 
 func TestSingleModelPool(t *testing.T) {
 	models, m, target, cfg := fixture(t)
-	out, err := FineSelect(models[:1], target, FineSelectOptions{Config: cfg, Matrix: m})
+	out, err := FineSelect(context.Background(), models[:1], target, FineSelectOptions{Config: cfg, Matrix: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,7 +205,7 @@ func TestSingleModelPool(t *testing.T) {
 
 func TestOutcomeStagesStartWithFullPool(t *testing.T) {
 	models, m, target, cfg := fixture(t)
-	out, err := FineSelect(models, target, FineSelectOptions{Config: cfg, Matrix: m})
+	out, err := FineSelect(context.Background(), models, target, FineSelectOptions{Config: cfg, Matrix: m})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -27,6 +28,11 @@ import (
 	"twophase/internal/store"
 	"twophase/internal/trainer"
 )
+
+// ErrUnknownTask is the sentinel for requests naming a task family the
+// service cannot build, re-exported from core so API layers can map it to
+// a not-found response without string matching.
+var ErrUnknownTask = core.ErrUnknownTask
 
 // Options configures a Service.
 type Options struct {
@@ -89,24 +95,36 @@ func New(opts Options) (*Service, error) {
 	return s, nil
 }
 
-// Framework returns the cached framework for a task family, building or
-// loading it on first use. Concurrent callers for the same family share a
-// single build; a failed build is not cached, so the next caller retries.
-func (s *Service) Framework(task string) (*core.Framework, error) {
+// Framework returns the cached framework for a task family at the
+// service's base seed, building or loading it on first use. Concurrent
+// callers for the same family share a single build; a failed build is not
+// cached, so the next caller retries. The context bounds only this
+// caller's wait: the shared build itself is never canceled by one dead
+// client, because its result serves every later request.
+func (s *Service) Framework(ctx context.Context, task string) (*core.Framework, error) {
+	return s.framework(ctx, task, s.opts.Base.Seed)
+}
+
+func (s *Service) framework(ctx context.Context, task string, seed uint64) (*core.Framework, error) {
+	key := matrixKey(task, seed)
 	s.mu.Lock()
-	if f, ok := s.flights[task]; ok {
+	if f, ok := s.flights[key]; ok {
 		s.mu.Unlock()
-		<-f.done
-		return f.fw, f.err
+		select {
+		case <-f.done:
+			return f.fw, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	f := &flight{done: make(chan struct{})}
-	s.flights[task] = f
+	s.flights[key] = f
 	s.mu.Unlock()
 
-	f.fw, f.err = s.load(task)
+	f.fw, f.err = s.load(task, seed)
 	if f.err != nil {
 		s.mu.Lock()
-		delete(s.flights, task)
+		delete(s.flights, key)
 		s.mu.Unlock()
 	}
 	close(f.done)
@@ -115,19 +133,20 @@ func (s *Service) Framework(task string) (*core.Framework, error) {
 
 // matrixKey names the stored matrix for a (task, seed) pair; the seed is
 // part of the key because the matrix encodes one synthetic world.
-func (s *Service) matrixKey(task string) string {
-	return fmt.Sprintf("%s-seed%d", task, s.opts.Base.Seed)
+func matrixKey(task string, seed uint64) string {
+	return fmt.Sprintf("%s-seed%d", task, seed)
 }
 
 // load resolves a framework: from the store when a matching matrix is
 // persisted, otherwise by running the offline build (and persisting its
 // artifacts for the next process).
-func (s *Service) load(task string) (*core.Framework, error) {
+func (s *Service) load(task string, seed uint64) (*core.Framework, error) {
 	opts := s.opts.Base
 	opts.Task = task
+	opts.Seed = seed
 	opts.Workers = s.opts.Workers
 	if s.st != nil {
-		if m, err := s.st.GetMatrix(s.matrixKey(task)); err == nil {
+		if m, err := s.st.GetMatrix(matrixKey(task, seed)); err == nil {
 			if fw, err := core.Assemble(opts, m); err == nil {
 				return fw, nil
 			}
@@ -135,11 +154,11 @@ func (s *Service) load(task string) (*core.Framework, error) {
 			// build, which overwrites it.
 		}
 	}
-	atomic.AddInt64(&s.builds, 1)
 	fw, err := core.Build(opts)
 	if err != nil {
 		return nil, err
 	}
+	atomic.AddInt64(&s.builds, 1)
 	if s.st != nil {
 		// Persistence is best-effort: the framework in memory is valid
 		// regardless, and failing the request here would leave the
@@ -165,7 +184,7 @@ func (s *Service) PersistErr() error {
 
 // persist writes the framework's offline artifacts to the store.
 func (s *Service) persist(fw *core.Framework) error {
-	if err := s.st.PutMatrix(s.matrixKey(fw.Task), fw.Matrix); err != nil {
+	if err := s.st.PutMatrix(matrixKey(fw.Task, fw.Seed), fw.Matrix); err != nil {
 		return err
 	}
 	specs := make([]modelhub.Spec, 0, fw.Repo.Len())
@@ -191,8 +210,8 @@ func (s *Service) Builds() int { return int(atomic.LoadInt64(&s.builds)) }
 func (s *Service) Cost() trainer.Ledger { return s.cost.Snapshot() }
 
 // Targets lists the task family's target dataset names in catalog order.
-func (s *Service) Targets(task string) ([]string, error) {
-	fw, err := s.Framework(task)
+func (s *Service) Targets(ctx context.Context, task string) ([]string, error) {
+	fw, err := s.Framework(ctx, task)
 	if err != nil {
 		return nil, err
 	}
@@ -205,17 +224,12 @@ func (s *Service) Targets(task string) ([]string, error) {
 }
 
 // Select serves one two-phase selection for a named target.
-func (s *Service) Select(task, target string) (*core.Report, error) {
-	fw, err := s.Framework(task)
+func (s *Service) Select(ctx context.Context, task, target string) (*core.Report, error) {
+	results, err := s.Do(ctx, Request{Task: task, Targets: []string{target}})
 	if err != nil {
 		return nil, err
 	}
-	report, err := fw.SelectByName(target)
-	if err != nil {
-		return nil, err
-	}
-	s.cost.Add(report.Ledger)
-	return report, nil
+	return results[0].Report, results[0].Err
 }
 
 // Result is one entry of a batched selection.
@@ -225,25 +239,64 @@ type Result struct {
 	Err    error
 }
 
-// SelectAll serves a batch of targets concurrently under the service's
-// concurrency budget. Results come back in request order; a per-target
-// failure is recorded in its Result without aborting the rest of the
-// batch. The framework resolves once for the whole batch.
-func (s *Service) SelectAll(task string, targets []string) ([]Result, error) {
-	fw, err := s.Framework(task)
+// Request is the service-level selection request: one task family, one or
+// more targets, and the strategy plus tuning knobs that apply to all of
+// them. It is the single dispatch point every caller — CLI, HTTP, tests —
+// routes through instead of hard-wiring individual Framework methods.
+type Request struct {
+	// Task is the task family ("nlp" or "cv").
+	Task string
+	// Targets are the target dataset names, served concurrently under the
+	// service's concurrency budget.
+	Targets []string
+	// Strategy picks the selection procedure; empty means two-phase.
+	Strategy core.Strategy
+	// Seed optionally overrides the service's base world seed for this
+	// request. Frameworks are cached per (task, seed), so distinct seeds
+	// build (or load) distinct offline worlds. The cache has no eviction:
+	// an open deployment should restrict or ignore client-supplied seeds
+	// at the API boundary, or each new seed costs a full offline build
+	// that stays resident.
+	Seed *uint64
+	// Workers overrides per-stage training parallelism for this request
+	// (0 keeps the service default). Outcomes are identical either way.
+	Workers int
+	// EnsembleK is the ensemble size for the ensemble strategy
+	// (0 means the default; ignored otherwise).
+	EnsembleK int
+}
+
+// Do serves a selection request: it resolves the framework once, fans the
+// targets out concurrently under the service's concurrency budget, and
+// returns per-target results in request order. A per-target failure is
+// recorded in its Result without aborting the rest of the batch; a
+// request-level failure (unknown task, canceled context while waiting on
+// the framework) is returned as the error.
+func (s *Service) Do(ctx context.Context, req Request) ([]Result, error) {
+	seed := s.opts.Base.Seed
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	fw, err := s.framework(ctx, req.Task, seed)
 	if err != nil {
 		return nil, err
 	}
-	results := make([]Result, len(targets))
+	opts := core.SelectOptions{Strategy: req.Strategy, Workers: req.Workers, EnsembleK: req.EnsembleK}
+	results := make([]Result, len(req.Targets))
 	sem := make(chan struct{}, s.opts.Concurrency)
 	var wg sync.WaitGroup
-	for i, name := range targets {
+	for i, name := range req.Targets {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			report, err := fw.SelectByName(name)
+			d, err := fw.Catalog.Get(name)
+			if err != nil {
+				results[i] = Result{Target: name, Err: err}
+				return
+			}
+			report, err := fw.SelectWith(ctx, d, opts)
 			if err != nil {
 				results[i] = Result{Target: name, Err: err}
 				return
@@ -256,11 +309,17 @@ func (s *Service) SelectAll(task string, targets []string) ([]Result, error) {
 	return results, nil
 }
 
+// SelectAll serves a batch of two-phase selections concurrently. Results
+// come back in request order; the framework resolves once for the batch.
+func (s *Service) SelectAll(ctx context.Context, task string, targets []string) ([]Result, error) {
+	return s.Do(ctx, Request{Task: task, Targets: targets})
+}
+
 // SelectAllTargets serves every target in the task family's catalog.
-func (s *Service) SelectAllTargets(task string) ([]Result, error) {
-	targets, err := s.Targets(task)
+func (s *Service) SelectAllTargets(ctx context.Context, task string) ([]Result, error) {
+	targets, err := s.Targets(ctx, task)
 	if err != nil {
 		return nil, err
 	}
-	return s.SelectAll(task, targets)
+	return s.SelectAll(ctx, task, targets)
 }

@@ -1,6 +1,10 @@
 package service
 
 import (
+	"context"
+	"os"
+	"path/filepath"
+
 	"reflect"
 	"sync"
 	"testing"
@@ -39,7 +43,7 @@ func TestFrameworkSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			fw, err := s.Framework(datahub.TaskNLP)
+			fw, err := s.Framework(context.Background(), datahub.TaskNLP)
 			if err != nil {
 				t.Error(err)
 				return
@@ -57,7 +61,7 @@ func TestFrameworkSingleflight(t *testing.T) {
 		t.Fatalf("%d offline builds for %d concurrent callers, want 1", got, callers)
 	}
 	// A later call still hits the cache.
-	if _, err := s.Framework(datahub.TaskNLP); err != nil {
+	if _, err := s.Framework(context.Background(), datahub.TaskNLP); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.Builds(); got != 1 {
@@ -67,15 +71,15 @@ func TestFrameworkSingleflight(t *testing.T) {
 
 func TestFrameworkBadTaskNotCached(t *testing.T) {
 	s := newTestService(t, Options{})
-	if _, err := s.Framework("audio"); err == nil {
+	if _, err := s.Framework(context.Background(), "audio"); err == nil {
 		t.Fatal("unknown task accepted")
 	}
 	// The failed flight must not poison the cell: a valid family still
 	// builds, and the bad one still errors.
-	if _, err := s.Framework(datahub.TaskNLP); err != nil {
+	if _, err := s.Framework(context.Background(), datahub.TaskNLP); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Framework("audio"); err == nil {
+	if _, err := s.Framework(context.Background(), "audio"); err == nil {
 		t.Fatal("unknown task accepted on retry")
 	}
 }
@@ -83,7 +87,7 @@ func TestFrameworkBadTaskNotCached(t *testing.T) {
 func TestStoreRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	first := newTestService(t, Options{StoreDir: dir})
-	reportA, err := first.Select(datahub.TaskNLP, "tweet_eval")
+	reportA, err := first.Select(context.Background(), datahub.TaskNLP, "tweet_eval")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +98,7 @@ func TestStoreRoundTrip(t *testing.T) {
 	// A second process over the same store must serve without rebuilding
 	// and return the identical report.
 	second := newTestService(t, Options{StoreDir: dir})
-	reportB, err := second.Select(datahub.TaskNLP, "tweet_eval")
+	reportB, err := second.Select(context.Background(), datahub.TaskNLP, "tweet_eval")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,13 +113,13 @@ func TestStoreRoundTrip(t *testing.T) {
 func TestStoreMismatchRebuilds(t *testing.T) {
 	dir := t.TempDir()
 	first := newTestService(t, Options{StoreDir: dir, Base: core.Options{Seed: 42, Sizes: tinySizes}})
-	if _, err := first.Framework(datahub.TaskNLP); err != nil {
+	if _, err := first.Framework(context.Background(), datahub.TaskNLP); err != nil {
 		t.Fatal(err)
 	}
 	// Same store, different world seed: the persisted matrix describes a
 	// different world, so the service must rebuild rather than serve it.
 	other := newTestService(t, Options{StoreDir: dir, Base: core.Options{Seed: 7, Sizes: tinySizes}})
-	if _, err := other.Framework(datahub.TaskNLP); err != nil {
+	if _, err := other.Framework(context.Background(), datahub.TaskNLP); err != nil {
 		t.Fatal(err)
 	}
 	if other.Builds() != 1 {
@@ -126,7 +130,7 @@ func TestStoreMismatchRebuilds(t *testing.T) {
 func TestStoreHyperparamMismatchRebuilds(t *testing.T) {
 	dir := t.TempDir()
 	first := newTestService(t, Options{StoreDir: dir, Base: core.Options{Seed: 42, Sizes: tinySizes}})
-	if _, err := first.Framework(datahub.TaskNLP); err != nil {
+	if _, err := first.Framework(context.Background(), datahub.TaskNLP); err != nil {
 		t.Fatal(err)
 	}
 	// Same store, same seed, different learning rate: model and dataset
@@ -139,7 +143,7 @@ func TestStoreHyperparamMismatchRebuilds(t *testing.T) {
 		Sizes: tinySizes,
 		HP:    trainer.LowLR(datahub.TaskNLP),
 	}})
-	if _, err := low.Framework(datahub.TaskNLP); err != nil {
+	if _, err := low.Framework(context.Background(), datahub.TaskNLP); err != nil {
 		t.Fatal(err)
 	}
 	if low.Builds() != 1 {
@@ -151,7 +155,7 @@ func TestStoreHyperparamMismatchRebuilds(t *testing.T) {
 		Seed:  42,
 		Sizes: datahub.Sizes{Train: 80, Val: 40, Test: 48},
 	}})
-	if _, err := sized.Framework(datahub.TaskNLP); err != nil {
+	if _, err := sized.Framework(context.Background(), datahub.TaskNLP); err != nil {
 		t.Fatal(err)
 	}
 	if sized.Builds() != 1 {
@@ -165,18 +169,18 @@ func TestStoreHyperparamMismatchRebuilds(t *testing.T) {
 func TestParallelMatchesSequential(t *testing.T) {
 	seq := newTestService(t, Options{Workers: 1, Concurrency: 1})
 	par := newTestService(t, Options{Workers: 4, Concurrency: 4})
-	targets, err := seq.Targets(datahub.TaskNLP)
+	targets, err := seq.Targets(context.Background(), datahub.TaskNLP)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(targets) == 0 {
 		t.Fatal("no targets")
 	}
-	got, err := par.SelectAll(datahub.TaskNLP, targets)
+	got, err := par.SelectAll(context.Background(), datahub.TaskNLP, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := seq.SelectAll(datahub.TaskNLP, targets)
+	want, err := seq.SelectAll(context.Background(), datahub.TaskNLP, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,15 +197,15 @@ func TestParallelMatchesSequential(t *testing.T) {
 
 func TestSelectAllDeterministicAndOrdered(t *testing.T) {
 	s := newTestService(t, Options{})
-	targets, err := s.Targets(datahub.TaskNLP)
+	targets, err := s.Targets(context.Background(), datahub.TaskNLP)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := s.SelectAll(datahub.TaskNLP, targets)
+	a, err := s.SelectAll(context.Background(), datahub.TaskNLP, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.SelectAll(datahub.TaskNLP, targets)
+	b, err := s.SelectAll(context.Background(), datahub.TaskNLP, targets)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +224,7 @@ func TestSelectAllDeterministicAndOrdered(t *testing.T) {
 
 func TestSelectAllPartialFailure(t *testing.T) {
 	s := newTestService(t, Options{})
-	results, err := s.SelectAll(datahub.TaskNLP, []string{"tweet_eval", "no-such-dataset"})
+	results, err := s.SelectAll(context.Background(), datahub.TaskNLP, []string{"tweet_eval", "no-such-dataset"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +238,7 @@ func TestSelectAllPartialFailure(t *testing.T) {
 
 func TestSharedCostLedger(t *testing.T) {
 	s := newTestService(t, Options{})
-	results, err := s.SelectAllTargets(datahub.TaskNLP)
+	results, err := s.SelectAllTargets(context.Background(), datahub.TaskNLP)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,5 +252,117 @@ func TestSharedCostLedger(t *testing.T) {
 	cost := s.Cost()
 	if got := cost.Total(); got != want {
 		t.Fatalf("shared ledger %v epochs, want sum of per-request ledgers %v", got, want)
+	}
+}
+
+// TestStoreCorruptArtifactRebuilds covers the fallback path end to end: a
+// corrupt persisted matrix must not fail the service — it triggers a
+// fresh offline build whose artifacts overwrite the bad file, healing the
+// store for the next process.
+func TestStoreCorruptArtifactRebuilds(t *testing.T) {
+	dir := t.TempDir()
+	first := newTestService(t, Options{StoreDir: dir})
+	reportA, err := first.Select(context.Background(), datahub.TaskNLP, "tweet_eval")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, "matrices", "nlp-seed42.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("expected persisted matrix at %s: %v", path, err)
+	}
+	if err := os.WriteFile(path, []byte("{definitely not a matrix"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	second := newTestService(t, Options{StoreDir: dir})
+	reportB, err := second.Select(context.Background(), datahub.TaskNLP, "tweet_eval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Builds() != 1 {
+		t.Fatalf("corrupt artifact served without rebuild (%d builds)", second.Builds())
+	}
+	if err := second.PersistErr(); err != nil {
+		t.Fatalf("rebuild failed to overwrite the corrupt artifact: %v", err)
+	}
+	if !reflect.DeepEqual(reportA, reportB) {
+		t.Fatalf("rebuilt selection differs from original:\n%+v\nvs\n%+v", reportA, reportB)
+	}
+
+	// The overwrite healed the store: a third process serves from it.
+	third := newTestService(t, Options{StoreDir: dir})
+	reportC, err := third.Select(context.Background(), datahub.TaskNLP, "tweet_eval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Builds() != 0 {
+		t.Fatalf("healed store not served (%d builds)", third.Builds())
+	}
+	if !reflect.DeepEqual(reportB, reportC) {
+		t.Fatalf("store-served selection differs from rebuild:\n%+v\nvs\n%+v", reportB, reportC)
+	}
+}
+
+// TestStorePersistDegradation covers the read-only/broken store volume:
+// persistence fails, the framework still serves from memory, and the
+// failure stays observable through PersistErr.
+func TestStorePersistDegradation(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestService(t, Options{StoreDir: dir})
+	// Break the matrices directory by replacing it with a regular file —
+	// unlike permission bits, this fails writes even when tests run as
+	// root.
+	if err := os.RemoveAll(filepath.Join(dir, "matrices")); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "matrices"), []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	report, err := s.Select(context.Background(), datahub.TaskNLP, "tweet_eval")
+	if err != nil {
+		t.Fatalf("degraded store must still serve from memory: %v", err)
+	}
+	if report == nil || report.Outcome.Winner == "" {
+		t.Fatalf("incomplete report from degraded service: %+v", report)
+	}
+	if s.PersistErr() == nil {
+		t.Fatal("persist failure not surfaced via PersistErr")
+	}
+	// Serving keeps working after the failed persist (framework cached).
+	if _, err := s.Select(context.Background(), datahub.TaskNLP, "super_glue/boolq"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoSeedOverride: a per-request seed builds (and caches) a distinct
+// framework world instead of silently reusing the base seed's.
+func TestDoSeedOverride(t *testing.T) {
+	s := newTestService(t, Options{})
+	ctx := context.Background()
+	if _, err := s.Do(ctx, Request{Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Builds() != 1 {
+		t.Fatalf("%d builds after base-seed request, want 1", s.Builds())
+	}
+	seed := uint64(7)
+	results, err := s.Do(ctx, Request{Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}, Seed: &seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil {
+		t.Fatal(results[0].Err)
+	}
+	if s.Builds() != 2 {
+		t.Fatalf("%d builds after seed-override request, want 2 (distinct world)", s.Builds())
+	}
+	// Same override again hits the (task, seed) cache.
+	if _, err := s.Do(ctx, Request{Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}, Seed: &seed}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Builds() != 2 {
+		t.Fatalf("%d builds after repeat, want 2 (cache hit)", s.Builds())
 	}
 }
