@@ -1,7 +1,8 @@
 GO ?= go
 SERVER_FLAGS ?=
+BENCH_JSON ?= BENCH_service.json
 
-.PHONY: verify race bench fmt vet build test run-server
+.PHONY: verify race bench bench-json fmt vet build test run-server
 
 # verify is the tier-1 gate: exactly what CI and the roadmap run.
 verify: build test
@@ -21,6 +22,12 @@ race:
 # for real measurements.
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# bench-json emits the serving layer's perf trajectory (cold vs warm-start
+# build time, select latency, cache hit rate) as one JSON document; CI
+# uploads it as an artifact per commit.
+bench-json:
+	$(GO) run ./cmd/benchservice -out $(BENCH_JSON)
 
 # run-server boots the v1 selection API on :8080; override with e.g.
 # `make run-server SERVER_FLAGS='-addr :9090 -store /tmp/twophase-store'`.

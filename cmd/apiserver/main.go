@@ -7,8 +7,8 @@
 //
 //	POST /v1/select                  single or batch selection
 //	GET  /v1/tasks/{task}/targets    target catalog of a task family
-//	GET  /v1/healthz                 liveness
-//	GET  /v1/stats                   builds, cumulative cost, degradation
+//	GET  /v1/healthz                 liveness + readiness (503 while warming)
+//	GET  /v1/stats                   builds, cache, cumulative cost
 //
 // Usage:
 //
@@ -18,9 +18,17 @@
 //
 //	-addr HOST:PORT      listen address (default :8080)
 //	-seed N              default world seed (default 42)
-//	-store DIR           artifact store; offline matrices persist across runs
+//	-store DIR           artifact store; offline stage artifacts persist
+//	                     across runs (matrix + clustering)
 //	-workers N           per-round training parallelism (0 = one per CPU)
 //	-concurrency N       concurrent selections per batch (0 = one per CPU)
+//	-cache-size N        max resident frameworks, LRU-evicted beyond it
+//	                     (0 = unbounded)
+//	-warm SPEC           pre-build worlds before reporting ready, e.g.
+//	                     "nlp" or "nlp,cv:7" (task at the base seed, or
+//	                     task:seed); healthz answers 503 until done
+//	-seed-policy P       admission policy for per-request seeds: any
+//	                     (default), fixed, allow=1,7,42, or max=N
 //	-train/-val/-test N  split sizes (0 = paper defaults; set all or none)
 //	-shutdown-grace D    drain window after SIGTERM/SIGINT (default 15s)
 //
@@ -38,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -53,6 +62,9 @@ type config struct {
 	storeDir      string
 	workers       int
 	concurrency   int
+	cacheSize     int
+	warmSpec      string
+	seedPolicy    string
 	sizes         datahub.Sizes
 	shutdownGrace time.Duration
 }
@@ -64,6 +76,9 @@ func main() {
 	flag.StringVar(&cfg.storeDir, "store", "", "artifact store directory (optional)")
 	flag.IntVar(&cfg.workers, "workers", 0, "per-round training workers (0 = one per CPU)")
 	flag.IntVar(&cfg.concurrency, "concurrency", 0, "concurrent selections per batch (0 = one per CPU)")
+	flag.IntVar(&cfg.cacheSize, "cache-size", 0, "max resident frameworks, LRU-evicted beyond it (0 = unbounded)")
+	flag.StringVar(&cfg.warmSpec, "warm", "", `worlds to pre-build before reporting ready, e.g. "nlp,cv:7"`)
+	flag.StringVar(&cfg.seedPolicy, "seed-policy", "any", "per-request seed admission: any, fixed, allow=..., max=N")
 	flag.IntVar(&cfg.sizes.Train, "train", 0, "train split size (0 = default)")
 	flag.IntVar(&cfg.sizes.Val, "val", 0, "val split size (0 = default)")
 	flag.IntVar(&cfg.sizes.Test, "test", 0, "test split size (0 = default)")
@@ -87,11 +102,24 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	if cfg.sizes != zero && (cfg.sizes.Train <= 0 || cfg.sizes.Val <= 0 || cfg.sizes.Test <= 0) {
 		return fmt.Errorf("-train, -val and -test must be set together (got %+v)", cfg.sizes)
 	}
+	seeds, err := service.ParseSeedPolicy(cfg.seedPolicy)
+	if err != nil {
+		return err
+	}
+	warmKeys, err := service.ParseWarmSpec(cfg.warmSpec, cfg.seed)
+	if err != nil {
+		return err
+	}
+	if err := service.ValidateWarmCapacity(warmKeys, cfg.cacheSize); err != nil {
+		return err
+	}
 	svc, err := service.New(service.Options{
 		Base:        core.Options{Seed: cfg.seed, Sizes: cfg.sizes},
 		StoreDir:    cfg.storeDir,
 		Workers:     cfg.workers,
 		Concurrency: cfg.concurrency,
+		CacheSize:   cfg.cacheSize,
+		Seeds:       seeds,
 	})
 	if err != nil {
 		return err
@@ -100,15 +128,33 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: api.NewHandler(api.NewDispatcher(svc, cfg.seed))}
-	log.Printf("apiserver: serving v1 selection API on %s (seed %d)", ln.Addr(), cfg.seed)
+	// The listener accepts immediately, but healthz reports "warming"
+	// (503) until the configured worlds are resident, so load balancers
+	// hold traffic while the expensive offline phase runs. A failed
+	// warmup is a configuration error and brings the server down.
+	var warmed atomic.Bool
+	warmed.Store(len(warmKeys) == 0)
+	errc := make(chan error, 2)
+	if len(warmKeys) > 0 {
+		go func() {
+			if err := svc.Warm(ctx, warmKeys); err != nil {
+				errc <- fmt.Errorf("warmup: %w", err)
+				return
+			}
+			warmed.Store(true)
+			log.Printf("apiserver: warmup done, %d worlds resident (%s); reporting ready", len(warmKeys), cfg.warmSpec)
+		}()
+	}
+	srv := &http.Server{Handler: api.NewReadyHandler(api.NewDispatcher(svc, cfg.seed), warmed.Load)}
+	log.Printf("apiserver: serving v1 selection API on %s (seed %d, cache-size %d, seed-policy %s)",
+		ln.Addr(), cfg.seed, cfg.cacheSize, seeds)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
 	case err := <-errc:
+		srv.Close()
 		return err
 	case <-ctx.Done():
 	}

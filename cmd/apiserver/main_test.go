@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -71,5 +72,135 @@ func TestRunRejectsPartialSizes(t *testing.T) {
 	err := run(context.Background(), config{addr: "127.0.0.1:0", sizes: datahub.Sizes{Train: 60}}, nil)
 	if err == nil {
 		t.Fatal("partial split sizes accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	base := config{addr: "127.0.0.1:0", seed: 42, sizes: datahub.Sizes{Train: 60, Val: 40, Test: 48}}
+	bad := base
+	bad.seedPolicy = "zigzag"
+	if err := run(context.Background(), bad, nil); err == nil {
+		t.Fatal("bad seed policy accepted")
+	}
+	bad = base
+	bad.warmSpec = "audio"
+	if err := run(context.Background(), bad, nil); err == nil {
+		t.Fatal("bad warm spec accepted")
+	}
+	// A warm set larger than the cache would evict warmed worlds before
+	// reporting ready; reject the misconfiguration at startup.
+	bad = base
+	bad.warmSpec = "nlp,cv:7"
+	bad.cacheSize = 1
+	if err := run(context.Background(), bad, nil); err == nil {
+		t.Fatal("warm set larger than cache accepted")
+	}
+}
+
+// TestWarmupLifecycle boots the server with -warm and a bounded cache:
+// healthz flips to ready only once the configured world is resident, the
+// first request hits the warm framework (no extra build), and /v1/stats
+// reports the cache.
+func TestWarmupLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := config{
+		addr:          "127.0.0.1:0",
+		seed:          42,
+		cacheSize:     2,
+		warmSpec:      "nlp",
+		seedPolicy:    "fixed",
+		sizes:         datahub.Sizes{Train: 60, Val: 40, Test: 48},
+		shutdownGrace: 5 * time.Second,
+	}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, ready) }()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never started listening")
+	}
+	c := api.NewClient("http://"+addr, nil)
+
+	// The listener is up before the warmup finishes; poll until healthz
+	// reports ready (Health errors on the 503 "warming" response).
+	deadline := time.After(30 * time.Second)
+	for {
+		if err := c.Health(context.Background()); err == nil {
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server died during warmup: %v", err)
+		case <-deadline:
+			t.Fatal("server never reported ready")
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+
+	st, err := c.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OfflineBuilds != 1 || st.Cache.Resident != 1 || st.Cache.Capacity != 2 {
+		t.Fatalf("stats after warmup: %+v", st)
+	}
+	resp, err := c.Select(context.Background(), &api.SelectRequest{
+		Task:    datahub.TaskNLP,
+		Targets: []string{"tweet_eval"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Results[0].Winner == "" || resp.OfflineBuilds != 1 {
+		t.Fatalf("warm request rebuilt or failed: %+v", resp)
+	}
+	// The fixed seed policy holds over the wire: 403 with the sentinel.
+	seed := uint64(7)
+	if _, err := c.Select(context.Background(), &api.SelectRequest{
+		Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}, Seed: &seed,
+	}); !errors.Is(err, api.ErrSeedRejected) {
+		t.Fatalf("live server seed rejection: %v", err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down within the grace window")
+	}
+}
+
+// TestWarmupFailureIsFatal: a warm spec the admission policy rejects is a
+// configuration error; the server exits nonzero instead of serving
+// half-configured.
+func TestWarmupFailureIsFatal(t *testing.T) {
+	ctx := context.Background()
+	cfg := config{
+		addr:          "127.0.0.1:0",
+		seed:          42,
+		warmSpec:      "nlp:7",
+		seedPolicy:    "fixed",
+		sizes:         datahub.Sizes{Train: 60, Val: 40, Test: 48},
+		shutdownGrace: time.Second,
+	}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, cfg, ready) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("rejected warmup did not bring the server down")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server kept running after warmup failure")
 	}
 }

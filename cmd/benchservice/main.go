@@ -1,0 +1,185 @@
+// Command benchservice measures the serving layer's performance envelope
+// and writes one JSON document so CI can accumulate a perf trajectory
+// across commits:
+//
+//   - cold_build_ms: the full offline pipeline (world synthesis,
+//     performance matrix, clustering) with an empty artifact store
+//   - warm_start_ms: a second process assembling from the persisted stage
+//     artifacts — the number the staged pipeline exists to shrink
+//   - select_ms_avg/p50/max: online two-phase selection latency on a warm
+//     framework
+//   - cache hit/miss/eviction counts and the hit rate over the run
+//
+// Usage:
+//
+//	benchservice -out BENCH_service.json [-task nlp] [-seed 42]
+//	             [-selects 8] [-train 60 -val 40 -test 48]
+//
+// The split sizes default to the test suite's tiny world so a CI run
+// finishes in seconds; absolute numbers are only comparable at equal
+// sizes, which the document records.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"twophase/internal/core"
+	"twophase/internal/datahub"
+	"twophase/internal/service"
+)
+
+type document struct {
+	Task      string        `json:"task"`
+	Seed      uint64        `json:"seed"`
+	Sizes     datahub.Sizes `json:"sizes"`
+	Targets   int           `json:"targets"`
+	Selects   int           `json:"selects"`
+	GoVersion string        `json:"go_version"`
+
+	ColdBuildMillis float64 `json:"cold_build_ms"`
+	WarmStartMillis float64 `json:"warm_start_ms"`
+	WarmSpeedup     float64 `json:"warm_speedup"`
+	WarmBuilds      int     `json:"warm_builds"` // must be 0
+
+	SelectMillisAvg float64 `json:"select_ms_avg"`
+	SelectMillisP50 float64 `json:"select_ms_p50"`
+	SelectMillisMax float64 `json:"select_ms_max"`
+	SelectEpochs    float64 `json:"select_epochs_avg"`
+
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_service.json", "output JSON path")
+		task    = flag.String("task", datahub.TaskNLP, `task family: "nlp" or "cv"`)
+		seed    = flag.Uint64("seed", 42, "world seed")
+		selects = flag.Int("selects", 8, "warm selections to time")
+		sizes   datahub.Sizes
+	)
+	flag.IntVar(&sizes.Train, "train", 60, "train split size")
+	flag.IntVar(&sizes.Val, "val", 40, "val split size")
+	flag.IntVar(&sizes.Test, "test", 48, "test split size")
+	flag.Parse()
+
+	if err := run(*out, *task, *seed, *selects, sizes); err != nil {
+		fmt.Fprintln(os.Stderr, "benchservice:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, task string, seed uint64, selects int, sizes datahub.Sizes) error {
+	ctx := context.Background()
+	storeDir, err := os.MkdirTemp("", "benchservice-store-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(storeDir)
+	opts := service.Options{
+		Base:     core.Options{Seed: seed, Sizes: sizes},
+		StoreDir: storeDir,
+	}
+
+	// Cold: empty store, full offline pipeline.
+	cold, err := service.New(opts)
+	if err != nil {
+		return err
+	}
+	coldStart := time.Now()
+	fw, err := cold.Framework(ctx, task)
+	if err != nil {
+		return err
+	}
+	coldMillis := millisSince(coldStart)
+	if cold.Builds() != 1 {
+		return fmt.Errorf("cold service ran %d builds, want 1", cold.Builds())
+	}
+
+	// Warm: a second process over the persisted stage artifacts.
+	warm, err := service.New(opts)
+	if err != nil {
+		return err
+	}
+	warmStart := time.Now()
+	if _, err := warm.Framework(ctx, task); err != nil {
+		return err
+	}
+	warmMillis := millisSince(warmStart)
+
+	// Online selection latency over the warm service, cycling the catalog.
+	targets := fw.Catalog.Targets()
+	if len(targets) == 0 {
+		return fmt.Errorf("task %s has no targets", task)
+	}
+	if selects < 1 {
+		selects = 1
+	}
+	latencies := make([]float64, 0, selects)
+	var epochs float64
+	for i := 0; i < selects; i++ {
+		name := targets[i%len(targets)].Name
+		start := time.Now()
+		report, err := warm.Select(ctx, task, name)
+		if err != nil {
+			return fmt.Errorf("select %s: %w", name, err)
+		}
+		latencies = append(latencies, millisSince(start))
+		epochs += report.TotalEpochs()
+	}
+	sort.Float64s(latencies)
+	var sum float64
+	for _, l := range latencies {
+		sum += l
+	}
+	cache := warm.CacheStats()
+
+	doc := document{
+		Task:            task,
+		Seed:            seed,
+		Sizes:           sizes,
+		Targets:         len(targets),
+		Selects:         selects,
+		GoVersion:       runtime.Version(),
+		ColdBuildMillis: coldMillis,
+		WarmStartMillis: warmMillis,
+		WarmBuilds:      warm.Builds(),
+		SelectMillisAvg: sum / float64(len(latencies)),
+		SelectMillisP50: latencies[len(latencies)/2],
+		SelectMillisMax: latencies[len(latencies)-1],
+		SelectEpochs:    epochs / float64(selects),
+		CacheHits:       cache.Hits,
+		CacheMisses:     cache.Misses,
+	}
+	if warmMillis > 0 {
+		doc.WarmSpeedup = coldMillis / warmMillis
+	}
+	if total := cache.Hits + cache.Misses; total > 0 {
+		doc.CacheHitRate = float64(cache.Hits) / float64(total)
+	}
+	if doc.WarmBuilds != 0 {
+		return fmt.Errorf("warm start executed %d offline builds, want 0 — stage artifacts not reused", doc.WarmBuilds)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchservice: cold %.0fms -> warm %.0fms (%.1fx), select avg %.0fms, cache hit rate %.2f -> %s\n",
+		doc.ColdBuildMillis, doc.WarmStartMillis, doc.WarmSpeedup, doc.SelectMillisAvg, doc.CacheHitRate, out)
+	return nil
+}
+
+func millisSince(t time.Time) float64 { return float64(time.Since(t).Microseconds()) / 1000 }

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"twophase/internal/datahub"
+)
+
+// TestRunEmitsDocument runs the whole benchmark at tiny sizes and checks
+// the emitted JSON is well-formed and internally consistent — warm starts
+// must execute zero offline builds and beat the cold build.
+func TestRunEmitsDocument(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_service.json")
+	if err := run(out, datahub.TaskNLP, 42, 2, datahub.Sizes{Train: 60, Val: 40, Test: 48}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("emitted document is not JSON: %v\n%s", err, data)
+	}
+	if doc.ColdBuildMillis <= 0 || doc.WarmStartMillis <= 0 {
+		t.Fatalf("missing timings: %+v", doc)
+	}
+	if doc.WarmBuilds != 0 {
+		t.Fatalf("warm start ran %d builds", doc.WarmBuilds)
+	}
+	if doc.WarmStartMillis >= doc.ColdBuildMillis {
+		t.Fatalf("warm start (%vms) not faster than cold build (%vms)", doc.WarmStartMillis, doc.ColdBuildMillis)
+	}
+	if doc.SelectMillisAvg <= 0 || doc.SelectEpochs <= 0 {
+		t.Fatalf("missing selection metrics: %+v", doc)
+	}
+	if doc.CacheHitRate <= 0 || doc.CacheHitRate >= 1 {
+		// One miss (the warm assemble) plus one hit per selection.
+		t.Fatalf("cache hit rate %v out of (0,1): %+v", doc.CacheHitRate, doc)
+	}
+}

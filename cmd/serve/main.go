@@ -15,13 +15,18 @@
 //
 //	-strategy S     selection strategy: two-phase (default), sh, bf, ensemble
 //	-server URL     send requests to a running apiserver instead of serving
-//	                in process (-store/-concurrency are rejected: they
-//	                configure the serving process; an explicit -seed is
-//	                sent as a per-request override)
+//	                in process (-store/-concurrency/-cache-size/-warm/
+//	                -seed-policy are rejected: they configure the serving
+//	                process; an explicit -seed is sent as a per-request
+//	                override)
 //	-seed N         world seed (default 42)
-//	-store DIR      artifact store; offline matrices persist across runs
+//	-store DIR      artifact store; offline stage artifacts persist across
+//	                runs (matrix + clustering)
 //	-workers N      per-round training parallelism (0 = one per CPU)
 //	-concurrency N  concurrent selections in the batch (0 = one per CPU)
+//	-cache-size N   max resident frameworks, LRU-evicted beyond (0 = unbounded)
+//	-warm SPEC      pre-build worlds before serving, e.g. "nlp,cv:7"
+//	-seed-policy P  per-request seed admission: any, fixed, allow=..., max=N
 //	-list-targets   print the family's target datasets and exit
 //
 // The process exits nonzero when the request itself fails or when every
@@ -56,6 +61,9 @@ func main() {
 	flag.StringVar(&cfg.storeDir, "store", "", "artifact store directory (optional)")
 	flag.IntVar(&cfg.workers, "workers", 0, "per-round training workers (0 = one per CPU)")
 	flag.IntVar(&cfg.concurrency, "concurrency", 0, "concurrent selections (0 = one per CPU)")
+	flag.IntVar(&cfg.cacheSize, "cache-size", 0, "max resident frameworks, LRU-evicted beyond it (0 = unbounded)")
+	flag.StringVar(&cfg.warmSpec, "warm", "", `worlds to pre-build before serving, e.g. "nlp,cv:7"`)
+	flag.StringVar(&cfg.seedPolicy, "seed-policy", "any", "per-request seed admission: any, fixed, allow=..., max=N")
 	flag.BoolVar(&cfg.listTargets, "list-targets", false, "list target datasets for the task and exit")
 	flag.Parse()
 	// Only an explicit -seed becomes a per-request override; otherwise a
@@ -86,6 +94,9 @@ type config struct {
 	storeDir    string
 	workers     int
 	concurrency int
+	cacheSize   int
+	warmSpec    string
+	seedPolicy  string
 	listTargets bool
 	sizes       datahub.Sizes // test hook; zero means datahub defaults
 }
@@ -93,7 +104,7 @@ type config struct {
 // newAPI picks the transport: a remote apiserver when -server is set,
 // otherwise an in-process dispatcher over a freshly built service. Both
 // implement the same contract.
-func newAPI(cfg config) (api.API, error) {
+func newAPI(ctx context.Context, cfg config) (api.API, error) {
 	if cfg.server != "" {
 		// These knobs configure the serving process, not a request;
 		// silently ignoring them would let a user believe artifacts are
@@ -104,22 +115,49 @@ func newAPI(cfg config) (api.API, error) {
 		if cfg.concurrency != 0 {
 			return nil, fmt.Errorf("-concurrency configures the serving process; not valid with -server")
 		}
+		if cfg.cacheSize != 0 {
+			return nil, fmt.Errorf("-cache-size configures the serving process; not valid with -server")
+		}
+		if cfg.warmSpec != "" {
+			return nil, fmt.Errorf("-warm configures the serving process; not valid with -server")
+		}
+		if cfg.seedPolicy != "" && cfg.seedPolicy != "any" {
+			return nil, fmt.Errorf("-seed-policy configures the serving process; not valid with -server")
+		}
 		return api.NewClient(cfg.server, nil), nil
+	}
+	seeds, err := service.ParseSeedPolicy(cfg.seedPolicy)
+	if err != nil {
+		return nil, err
+	}
+	warmKeys, err := service.ParseWarmSpec(cfg.warmSpec, cfg.seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := service.ValidateWarmCapacity(warmKeys, cfg.cacheSize); err != nil {
+		return nil, err
 	}
 	svc, err := service.New(service.Options{
 		Base:        core.Options{Seed: cfg.seed, Sizes: cfg.sizes},
 		StoreDir:    cfg.storeDir,
 		Workers:     cfg.workers,
 		Concurrency: cfg.concurrency,
+		CacheSize:   cfg.cacheSize,
+		Seeds:       seeds,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if len(warmKeys) > 0 {
+		if err := svc.Warm(ctx, warmKeys); err != nil {
+			return nil, err
+		}
 	}
 	return api.NewDispatcher(svc, cfg.seed), nil
 }
 
 func run(ctx context.Context, w io.Writer, cfg config) error {
-	a, err := newAPI(cfg)
+	a, err := newAPI(ctx, cfg)
 	if err != nil {
 		return err
 	}

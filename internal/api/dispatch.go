@@ -143,6 +143,18 @@ func (d *Dispatcher) Stats(context.Context) (*Stats, error) {
 		TotalEpochs:   cost.Total(),
 		TrainEpochs:   cost.TrainEpochs(),
 	}
+	cache := d.svc.CacheStats()
+	st.Cache = CacheStats{
+		Capacity:      cache.Capacity,
+		Resident:      cache.Resident,
+		InUse:         cache.InUse,
+		Hits:          cache.Hits,
+		Misses:        cache.Misses,
+		Evictions:     cache.Evictions,
+		Builds:        cache.Builds,
+		BuildFailures: cache.BuildFailures,
+		BuildMillis:   cache.BuildTotal.Milliseconds(),
+	}
 	if err := d.svc.PersistErr(); err != nil {
 		st.PersistDegraded = true
 		st.PersistError = err.Error()

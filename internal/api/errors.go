@@ -24,6 +24,10 @@ var (
 	// ErrCanceled marks a request whose context was canceled or timed out
 	// while the selection was in flight.
 	ErrCanceled = errors.New("api: request canceled")
+	// ErrSeedRejected marks a well-formed request whose seed override the
+	// server's admission policy refuses — minting a new offline world is
+	// a privilege, not a request parameter, on an open deployment.
+	ErrSeedRejected = errors.New("api: seed rejected")
 )
 
 // StatusClientClosedRequest is nginx's nonstandard 499 "client closed
@@ -38,12 +42,15 @@ func classify(err error) error {
 	case err == nil:
 		return nil
 	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrUnknownTask),
-		errors.Is(err, ErrUnknownTarget), errors.Is(err, ErrCanceled):
+		errors.Is(err, ErrUnknownTarget), errors.Is(err, ErrCanceled),
+		errors.Is(err, ErrSeedRejected):
 		return err
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return fmt.Errorf("%w: %v", ErrCanceled, err)
 	case errors.Is(err, service.ErrUnknownTask):
 		return fmt.Errorf("%w: %v", ErrUnknownTask, err)
+	case errors.Is(err, service.ErrSeedRejected):
+		return fmt.Errorf("%w: %v", ErrSeedRejected, err)
 	case errors.Is(err, datahub.ErrUnknownDataset):
 		return fmt.Errorf("%w: %v", ErrUnknownTarget, err)
 	default:
@@ -60,6 +67,8 @@ func HTTPStatus(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrUnknownTask), errors.Is(err, ErrUnknownTarget):
 		return http.StatusNotFound
+	case errors.Is(err, ErrSeedRejected):
+		return http.StatusForbidden
 	case errors.Is(err, ErrCanceled):
 		return StatusClientClosedRequest
 	default:
@@ -73,6 +82,7 @@ const (
 	CodeBadRequest    = "bad_request"
 	CodeUnknownTask   = "unknown_task"
 	CodeUnknownTarget = "unknown_target"
+	CodeSeedRejected  = "seed_rejected"
 	CodeCanceled      = "canceled"
 	CodeInternal      = "internal"
 )
@@ -86,6 +96,8 @@ func Code(err error) string {
 		return CodeUnknownTask
 	case errors.Is(err, ErrUnknownTarget):
 		return CodeUnknownTarget
+	case errors.Is(err, ErrSeedRejected):
+		return CodeSeedRejected
 	case errors.Is(err, ErrCanceled):
 		return CodeCanceled
 	default:
@@ -107,6 +119,8 @@ func errFromCode(code, msg string) error {
 		sentinel = ErrUnknownTask
 	case CodeUnknownTarget:
 		sentinel = ErrUnknownTarget
+	case CodeSeedRejected:
+		sentinel = ErrSeedRejected
 	case CodeCanceled:
 		sentinel = ErrCanceled
 	default:

@@ -1,0 +1,126 @@
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"twophase/internal/core"
+	"twophase/internal/datahub"
+	"twophase/internal/service"
+)
+
+// TestSeedRejectedMapping: the admission policy's refusal maps to 403 with
+// a machine-readable code, and the sentinel survives the HTTP round trip.
+func TestSeedRejectedMapping(t *testing.T) {
+	svc, err := service.New(service.Options{
+		Base:  core.Options{Seed: 42, Sizes: tinySizes},
+		Seeds: service.SeedPolicy{Fixed: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(svc, 42)
+	ts := httptest.NewServer(NewHandler(d))
+	defer ts.Close()
+	c := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	seed := uint64(7)
+	req := &SelectRequest{Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}, Seed: &seed}
+	_, err = d.Select(ctx, req)
+	if !errors.Is(err, ErrSeedRejected) {
+		t.Fatalf("dispatcher: got %v, want ErrSeedRejected", err)
+	}
+	if HTTPStatus(err) != http.StatusForbidden || Code(err) != CodeSeedRejected {
+		t.Fatalf("mapping: status %d code %q, want 403 / seed_rejected", HTTPStatus(err), Code(err))
+	}
+	if _, err := c.Select(ctx, req); !errors.Is(err, ErrSeedRejected) {
+		t.Fatalf("wire: seed rejection lost its sentinel: %v", err)
+	}
+	// The rejection never built a world.
+	if svc.Builds() != 0 {
+		t.Fatalf("rejected seed executed %d builds", svc.Builds())
+	}
+}
+
+// TestStatsReportsCache: /v1/stats carries the lifecycle cache's
+// occupancy and hit/miss/eviction counters.
+func TestStatsReportsCache(t *testing.T) {
+	svc, err := service.New(service.Options{
+		Base:      core.Options{Seed: 42, Sizes: tinySizes},
+		CacheSize: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(svc, 42)
+	ts := httptest.NewServer(NewHandler(d))
+	defer ts.Close()
+	c := NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	if _, err := d.Select(ctx, &SelectRequest{Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}}); err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(7)
+	if _, err := d.Select(ctx, &SelectRequest{Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}, Seed: &seed}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := st.Cache
+	if cs.Capacity != 1 || cs.Resident != 1 || cs.InUse != 0 {
+		t.Fatalf("cache occupancy: %+v", cs)
+	}
+	if cs.Evictions != 1 || cs.Misses != 2 || cs.Builds != 2 {
+		t.Fatalf("cache counters: %+v", cs)
+	}
+	if cs.BuildMillis <= 0 {
+		t.Fatalf("build duration not reported: %+v", cs)
+	}
+}
+
+// TestReadyHandlerGatesHealthz: while warmup is in flight, healthz answers
+// 503 "warming"; afterwards 200 "ok". The selection endpoints stay open.
+func TestReadyHandlerGatesHealthz(t *testing.T) {
+	d, _ := newTestDispatcher(t)
+	var ready atomic.Bool
+	ts := httptest.NewServer(NewReadyHandler(d, ready.Load))
+	defer ts.Close()
+
+	get := func() (int, Health) {
+		t.Helper()
+		res, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var h Health
+		if err := json.NewDecoder(res.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return res.StatusCode, h
+	}
+
+	if status, h := get(); status != http.StatusServiceUnavailable || h.Status != "warming" {
+		t.Fatalf("warming healthz: %d %+v", status, h)
+	}
+	// Selection is not gated: an early request waits on the build instead
+	// of bouncing.
+	c := NewClient(ts.URL, ts.Client())
+	if _, err := c.Targets(context.Background(), datahub.TaskNLP); err != nil {
+		t.Fatalf("ungated endpoint failed while warming: %v", err)
+	}
+	ready.Store(true)
+	if status, h := get(); status != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("ready healthz: %d %+v", status, h)
+	}
+}

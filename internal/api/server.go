@@ -15,12 +15,20 @@ const maxBodyBytes = 1 << 20
 //
 //	POST /v1/select                  single or batch selection
 //	GET  /v1/tasks/{task}/targets    target catalog of a task family
-//	GET  /v1/healthz                 liveness
-//	GET  /v1/stats                   builds, cumulative cost, degradation
+//	GET  /v1/healthz                 liveness + readiness
+//	GET  /v1/stats                   builds, cache, cumulative cost
 //
 // Every response body is JSON; failures carry ErrorResponse with a
 // machine-readable code and the status from HTTPStatus.
-func NewHandler(a API) http.Handler {
+func NewHandler(a API) http.Handler { return NewReadyHandler(a, nil) }
+
+// NewReadyHandler is NewHandler with a readiness gate: until ready
+// reports true (e.g. while configured framework warmup is still
+// building), /v1/healthz answers 503 {"status":"warming"} so load
+// balancers hold traffic until the first request can hit a resident
+// framework. A nil ready means always ready. The selection endpoints are
+// not gated — a request that arrives early simply waits on the build.
+func NewReadyHandler(a API, ready func() bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/select", func(w http.ResponseWriter, r *http.Request) {
 		var req SelectRequest
@@ -49,6 +57,10 @@ func NewHandler(a API) http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if ready != nil && !ready() {
+			writeJSON(w, http.StatusServiceUnavailable, Health{Status: "warming"})
+			return
+		}
 		writeJSON(w, http.StatusOK, Health{Status: "ok"})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {

@@ -93,6 +93,30 @@ type Stats struct {
 	// carries the most recent failure.
 	PersistDegraded bool   `json:"persist_degraded"`
 	PersistError    string `json:"persist_error,omitempty"`
+	// Cache describes the framework lifecycle cache.
+	Cache CacheStats `json:"cache"`
+}
+
+// CacheStats is the framework lifecycle cache's observability snapshot.
+type CacheStats struct {
+	// Capacity is the configured bound on resident frameworks
+	// (0 = unbounded).
+	Capacity int `json:"capacity"`
+	// Resident counts cached frameworks, including in-flight builds;
+	// InUse counts those pinned by at least one in-flight request.
+	Resident int `json:"resident"`
+	InUse    int `json:"in_use"`
+	// Hits/Misses count cache lookups; Evictions counts frameworks
+	// removed by the capacity bound.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	// Builds/BuildFailures count completed framework resolutions (store
+	// loads and offline builds alike); BuildMillis is their cumulative
+	// wall time.
+	Builds        int64 `json:"builds"`
+	BuildFailures int64 `json:"build_failures"`
+	BuildMillis   int64 `json:"build_ms"`
 }
 
 // Health is the /v1/healthz body.

@@ -3,9 +3,20 @@ package cluster
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"twophase/internal/numeric"
 )
+
+// agglomerativePasses counts Agglomerative invocations in this process.
+// The offline pipeline persists its clustering as a stage artifact, and
+// warm-start tests use this counter to prove a rehydrated framework never
+// re-clusters the repository.
+var agglomerativePasses atomic.Int64
+
+// Passes reports how many agglomerative clustering passes this process
+// has executed so far.
+func Passes() int64 { return agglomerativePasses.Load() }
 
 // Clustering is an assignment of n items to K clusters, with cluster ids
 // in [0, K).
@@ -52,6 +63,7 @@ func (c Clustering) Singletons() []int {
 // Setting maxClusters > 0 additionally keeps merging (ignoring threshold)
 // until at most maxClusters remain; pass 0 to rely on the threshold alone.
 func Agglomerative(vecs [][]float64, dist Distance, threshold float64, maxClusters int) Clustering {
+	agglomerativePasses.Add(1)
 	n := len(vecs)
 	if n == 0 {
 		return Clustering{}

@@ -63,33 +63,69 @@ type Framework struct {
 	Seed    uint64
 	Workers int
 
+	// Stages records, per offline stage, whether this framework loaded a
+	// persisted artifact or recomputed the stage.
+	Stages Stages
+
 	// offline caches the target-independent coarse-recall artifacts
 	// (performance vectors, clustering, representatives) so serving many
 	// targets does not re-cluster the repository per request.
 	offline *recall.Offline
 }
 
+// Stages reports the provenance of each offline-pipeline stage of one
+// framework build. World synthesis (stage 1) is always recomputed — it is
+// deterministic and cheap; the expensive stages are the performance
+// matrix (stage 2) and the clustering/representative artifacts (stage 3).
+type Stages struct {
+	// MatrixLoaded is true when the performance matrix came from a
+	// persisted artifact instead of offline fine-tuning.
+	MatrixLoaded bool
+	// RecallLoaded is true when the clustering stage was rehydrated from
+	// a persisted artifact instead of re-clustering the repository.
+	RecallLoaded bool
+}
+
+// Artifacts carries persisted stage outputs into AssembleArtifacts. A nil
+// field means "recompute that stage". Stage inputs are validated
+// independently: a stale Recall artifact silently rebuilds only stage 3,
+// while a mismatched Matrix fails the assembly (rebuilding it means
+// redoing the whole offline phase, which is the caller's decision).
+type Artifacts struct {
+	Matrix *perfmatrix.Matrix
+	Recall *recall.Artifact
+}
+
 // Build runs the offline phase: materialize the world, fine-tune every
 // repository model on every benchmark dataset, and keep the performance
 // matrix plus convergence records for online use.
-func Build(opts Options) (*Framework, error) { return build(opts, nil) }
+func Build(opts Options) (*Framework, error) { return build(opts, Artifacts{}) }
 
-// Assemble constructs a Framework around an already-built performance
-// matrix — typically one loaded from a store — skipping the expensive
-// offline fine-tuning. The matrix must describe exactly the world the
-// options would build (same task, model set, benchmark set and epoch
-// budget); a mismatch returns an error so callers can fall back to Build.
-func Assemble(opts Options, m *perfmatrix.Matrix) (*Framework, error) {
-	if m == nil {
-		return nil, fmt.Errorf("core: assemble: nil matrix")
-	}
-	return build(opts, m)
+// AssembleArtifacts constructs a Framework from whatever persisted stage
+// artifacts are available — typically loaded from a store — recomputing
+// only the stages whose artifact is missing or no longer matches its
+// inputs. A provided matrix must describe exactly the world the options
+// would build (same task, model set, benchmark set and epoch budget); a
+// mismatch returns an error so callers can fall back to Build, which
+// recomputes and overwrites every stage. The result is bit-identical to
+// a cold Build for the same options.
+func AssembleArtifacts(opts Options, art Artifacts) (*Framework, error) {
+	return build(opts, art)
 }
 
-func build(opts Options, pre *perfmatrix.Matrix) (*Framework, error) {
+// build is the staged offline pipeline:
+//
+//	stage 1  world synthesis     — catalog + repository from the seed
+//	stage 2  performance matrix  — offline fine-tuning (or artifact)
+//	stage 3  recall artifacts    — clustering + representatives (or artifact)
+//	stage 4  framework assembly
+func build(opts Options, art Artifacts) (*Framework, error) {
 	if opts.Task == "" {
 		opts.Task = datahub.TaskNLP
 	}
+	// Stage 1: world synthesis. Deterministic in the seed and cheap next
+	// to training, so it always recomputes; its persisted form is the
+	// model/dataset spec sets the store keeps for querying.
 	w := synth.NewWorld(opts.Seed)
 	cat, err := datahub.NewTaskCatalog(w, opts.Task, opts.Sizes)
 	if err != nil {
@@ -103,19 +139,61 @@ func build(opts Options, pre *perfmatrix.Matrix) (*Framework, error) {
 	if hp == (trainer.Hyperparams{}) {
 		hp = trainer.Default(opts.Task)
 	}
+
+	// Stage 2: performance matrix.
+	var stages Stages
 	var m *perfmatrix.Matrix
-	if pre != nil {
-		if err := matrixMatches(pre, opts.Task, opts.Seed, repo, cat.Benchmarks(), hp); err != nil {
+	if art.Matrix != nil {
+		if err := matrixMatches(art.Matrix, opts.Task, opts.Seed, repo, cat.Benchmarks(), hp); err != nil {
 			return nil, fmt.Errorf("core: assemble: %w", err)
 		}
-		m = pre
+		m = art.Matrix
+		stages.MatrixLoaded = true
 	} else {
 		m, err = perfmatrix.Build(repo, cat.Benchmarks(), hp, opts.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("core: performance matrix: %w", err)
 		}
 	}
-	ro := opts.Recall
+
+	// Stage 3: target-independent recall artifacts.
+	ro := fillRecallOptions(opts.Task, opts.Recall)
+	var off *recall.Offline
+	if art.Recall != nil {
+		if o, err := recall.Rehydrate(m, ro, art.Recall); err == nil {
+			off = o
+			stages.RecallLoaded = true
+		}
+		// A stale clustering artifact (options changed, foreign matrix)
+		// only invalidates this stage; fall through and recompute it.
+	}
+	if off == nil {
+		off, err = recall.PrepareOffline(m, ro)
+		if err != nil {
+			return nil, fmt.Errorf("core: offline recall artifacts: %w", err)
+		}
+	}
+
+	// Stage 4: assembly.
+	return &Framework{
+		Task:    opts.Task,
+		World:   w,
+		Catalog: cat,
+		Repo:    repo,
+		Matrix:  m,
+		HP:      hp,
+		Recall:  ro,
+		Seed:    opts.Seed,
+		Workers: opts.Workers,
+		Stages:  stages,
+		offline: off,
+	}, nil
+}
+
+// fillRecallOptions resolves the per-task recall defaults the framework
+// builds with; the filled options are part of the stage-3 artifact's
+// fingerprint.
+func fillRecallOptions(task string, ro recall.Options) recall.Options {
 	def := recall.DefaultOptions()
 	if ro.K <= 0 {
 		ro.K = def.K
@@ -127,7 +205,7 @@ func build(opts Options, pre *perfmatrix.Matrix) (*Framework, error) {
 		// CV performance vectors span only 10 benchmarks, so their Eq. 1
 		// distances are tighter; a finer cut keeps the cluster structure
 		// (6 non-singleton clusters in the paper's Table II) visible.
-		if opts.Task == datahub.TaskCV {
+		if task == datahub.TaskCV {
 			ro.Threshold = 0.06
 		} else {
 			ro.Threshold = def.Threshold
@@ -136,22 +214,13 @@ func build(opts Options, pre *perfmatrix.Matrix) (*Framework, error) {
 	if ro.Scorer == nil {
 		ro.Scorer = def.Scorer
 	}
-	off, err := recall.PrepareOffline(m, ro)
-	if err != nil {
-		return nil, fmt.Errorf("core: offline recall artifacts: %w", err)
-	}
-	return &Framework{
-		Task:    opts.Task,
-		World:   w,
-		Catalog: cat,
-		Repo:    repo,
-		Matrix:  m,
-		HP:      hp,
-		Recall:  ro,
-		Seed:    opts.Seed,
-		Workers: opts.Workers,
-		offline: off,
-	}, nil
+	return ro
+}
+
+// RecallArtifact exports the framework's stage-3 clustering artifact for
+// persistence, stamped with the matrix's provenance.
+func (f *Framework) RecallArtifact() *recall.Artifact {
+	return f.offline.Artifact(f.Task, f.Seed)
 }
 
 // matrixMatches verifies that a pre-built matrix was produced by exactly

@@ -94,25 +94,39 @@ type Offline struct {
 // PrepareOffline computes the target-independent half of coarse recall.
 func PrepareOffline(m *perfmatrix.Matrix, opts Options) (*Offline, error) {
 	opts.fill()
-	names := m.Models
-	if len(names) == 0 {
-		return nil, fmt.Errorf("recall: empty performance matrix")
+	names, vecs, avgAcc, err := matrixVectors(m)
+	if err != nil {
+		return nil, err
 	}
+	dist := cluster.TopKDistance(opts.SimilarityK)
+	clustering := cluster.Agglomerative(vecs, dist, opts.Threshold, 0)
+	return assembleOffline(opts, names, vecs, avgAcc, dist, clustering), nil
+}
 
-	vecs := make([][]float64, len(names))
-	avgAcc := make([]float64, len(names))
+// matrixVectors extracts every model's performance vector and benchmark
+// average from the matrix, in matrix model order.
+func matrixVectors(m *perfmatrix.Matrix) (names []string, vecs [][]float64, avgAcc []float64, err error) {
+	names = m.Models
+	if len(names) == 0 {
+		return nil, nil, nil, fmt.Errorf("recall: empty performance matrix")
+	}
+	vecs = make([][]float64, len(names))
+	avgAcc = make([]float64, len(names))
 	for i, name := range names {
 		v, err := m.Vector(name)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		vecs[i] = v
 		avgAcc[i] = numeric.Mean(v)
 	}
+	return names, vecs, avgAcc, nil
+}
 
-	dist := cluster.TopKDistance(opts.SimilarityK)
-	clustering := cluster.Agglomerative(vecs, dist, opts.Threshold, 0)
-
+// assembleOffline derives representatives and their deterministic order
+// from a clustering — the shared tail of PrepareOffline and Rehydrate, so
+// a rehydrated Offline is bit-identical to a freshly clustered one.
+func assembleOffline(opts Options, names []string, vecs [][]float64, avgAcc []float64, dist func(a, b []float64) float64, clustering cluster.Clustering) *Offline {
 	// Representatives of non-singleton clusters: best benchmark average.
 	reps := make(map[int]string)
 	repIdx := make(map[int]int)
@@ -160,7 +174,100 @@ func PrepareOffline(m *perfmatrix.Matrix, opts Options) (*Offline, error) {
 		reps:       reps,
 		repIdx:     repIdx,
 		cids:       cids,
-	}, nil
+	}
+}
+
+// Artifact is the serializable form of the clustering stage of the offline
+// pipeline: the agglomerative assignment plus the fingerprint of every
+// input that shaped it. Persisting it lets a warm start rehydrate an
+// Offline without re-running the O(n³) clustering; the fingerprint lets
+// the loader detect that any input changed and rebuild the stage instead.
+type Artifact struct {
+	Task        string   `json:"task"`
+	Seed        uint64   `json:"seed"`
+	SimilarityK int      `json:"similarity_k"`
+	Threshold   float64  `json:"threshold"`
+	Scorer      string   `json:"scorer"`
+	Models      []string `json:"models"`
+	Assign      []int    `json:"assign"`
+	Clusters    int      `json:"clusters"`
+}
+
+// Artifact exports the offline clustering stage for persistence. Task and
+// seed record the provenance of the matrix it was derived from.
+func (o *Offline) Artifact(task string, seed uint64) *Artifact {
+	return &Artifact{
+		Task:        task,
+		Seed:        seed,
+		SimilarityK: o.opts.SimilarityK,
+		Threshold:   o.opts.Threshold,
+		Scorer:      o.opts.Scorer.Name(),
+		Models:      o.names,
+		Assign:      o.Clustering.Assign,
+		Clusters:    o.Clustering.K,
+	}
+}
+
+// Rehydrate rebuilds an Offline from a persisted clustering artifact,
+// skipping the agglomerative pass. The artifact must have been produced by
+// exactly the inputs at hand — same model order and the same clustering
+// options — or Rehydrate errors so the caller falls back to
+// PrepareOffline. Everything derived (vectors, averages, representatives)
+// is recomputed from the matrix, so a rehydrated Offline recalls
+// bit-identically to a cold-built one.
+func Rehydrate(m *perfmatrix.Matrix, opts Options, a *Artifact) (*Offline, error) {
+	if a == nil {
+		return nil, fmt.Errorf("recall: rehydrate: nil artifact")
+	}
+	opts.fill()
+	if a.SimilarityK != opts.SimilarityK {
+		return nil, fmt.Errorf("recall: artifact similarity k %d, want %d", a.SimilarityK, opts.SimilarityK)
+	}
+	if a.Threshold != opts.Threshold {
+		return nil, fmt.Errorf("recall: artifact threshold %v, want %v", a.Threshold, opts.Threshold)
+	}
+	if a.Scorer != opts.Scorer.Name() {
+		return nil, fmt.Errorf("recall: artifact scorer %q, want %q", a.Scorer, opts.Scorer.Name())
+	}
+	if a.Task != m.Task {
+		return nil, fmt.Errorf("recall: artifact task %q, want %q", a.Task, m.Task)
+	}
+	if a.Seed != m.Seed {
+		return nil, fmt.Errorf("recall: artifact seed %d, want %d", a.Seed, m.Seed)
+	}
+	names, vecs, avgAcc, err := matrixVectors(m)
+	if err != nil {
+		return nil, err
+	}
+	if len(a.Models) != len(names) || len(a.Assign) != len(names) {
+		return nil, fmt.Errorf("recall: artifact covers %d models (%d assignments), matrix has %d",
+			len(a.Models), len(a.Assign), len(names))
+	}
+	for i, name := range names {
+		if a.Models[i] != name {
+			return nil, fmt.Errorf("recall: artifact model %d is %q, matrix has %q", i, a.Models[i], name)
+		}
+	}
+	if a.Clusters <= 0 || a.Clusters > len(names) {
+		return nil, fmt.Errorf("recall: artifact cluster count %d out of range", a.Clusters)
+	}
+	sizes := make([]int, a.Clusters)
+	for i, c := range a.Assign {
+		if c < 0 || c >= a.Clusters {
+			return nil, fmt.Errorf("recall: artifact assignment %d is cluster %d, want [0,%d)", i, c, a.Clusters)
+		}
+		sizes[c]++
+	}
+	for c, n := range sizes {
+		if n == 0 {
+			return nil, fmt.Errorf("recall: artifact cluster %d is empty", c)
+		}
+	}
+	assign := make([]int, len(a.Assign))
+	copy(assign, a.Assign)
+	clustering := cluster.Clustering{Assign: assign, K: a.Clusters}
+	dist := cluster.TopKDistance(opts.SimilarityK)
+	return assembleOffline(opts, names, vecs, avgAcc, dist, clustering), nil
 }
 
 // Recall runs the online half of the phase against one target dataset:

@@ -1,0 +1,226 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"twophase/internal/datahub"
+	"twophase/internal/lifecycle"
+)
+
+// ErrSeedRejected is the sentinel for per-request seeds the service's
+// admission policy refuses. API layers map it to a forbidden response:
+// the request was well-formed, the deployment just does not let untrusted
+// callers mint new offline worlds.
+var ErrSeedRejected = errors.New("service: seed rejected by admission policy")
+
+// SeedPolicy is the admission policy for per-request seed overrides. The
+// offline build behind a fresh seed costs minutes of fine-tuning and a
+// resident framework, so an open deployment must bound what clients can
+// request. The zero value admits any seed (suitable for trusted callers
+// only); the base seed is always admitted.
+type SeedPolicy struct {
+	// Fixed admits only the service's base seed.
+	Fixed bool
+	// Allow, when non-empty, admits exactly these seeds (plus the base
+	// seed). Ignored when Fixed is set.
+	Allow []uint64
+	// MaxDistinct, when > 0, admits at most this many distinct non-base
+	// seeds over the service's lifetime, first come first admitted.
+	// Composes with Allow.
+	MaxDistinct int
+}
+
+// String renders the policy in the -seed-policy flag syntax.
+func (p SeedPolicy) String() string {
+	switch {
+	case p.Fixed:
+		return "fixed"
+	case len(p.Allow) > 0:
+		parts := make([]string, len(p.Allow))
+		for i, s := range p.Allow {
+			parts[i] = strconv.FormatUint(s, 10)
+		}
+		out := "allow=" + strings.Join(parts, ",")
+		if p.MaxDistinct > 0 {
+			out += fmt.Sprintf(",max=%d", p.MaxDistinct)
+		}
+		return out
+	case p.MaxDistinct > 0:
+		return fmt.Sprintf("max=%d", p.MaxDistinct)
+	default:
+		return "any"
+	}
+}
+
+// ParseSeedPolicy parses the -seed-policy flag syntax:
+//
+//	any              admit every seed (the default)
+//	fixed            admit only the server's base seed
+//	allow=1,7,42     admit exactly these seeds (plus the base seed)
+//	max=8            admit at most 8 distinct non-base seeds, first come
+//
+// allow and max compose: "allow=1,7,max=1" admits at most one of {1, 7}.
+func ParseSeedPolicy(s string) (SeedPolicy, error) {
+	switch s {
+	case "", "any":
+		return SeedPolicy{}, nil
+	case "fixed":
+		return SeedPolicy{Fixed: true}, nil
+	}
+	var p SeedPolicy
+	rest := s
+	for rest != "" {
+		var clause string
+		switch {
+		case strings.HasPrefix(rest, "allow="):
+			// allow's value is itself comma-separated; it extends until
+			// the next clause keyword or the end.
+			clause = rest
+			if i := strings.Index(rest, ",max="); i >= 0 {
+				clause, rest = rest[:i], rest[i+1:]
+			} else {
+				rest = ""
+			}
+			for _, f := range strings.Split(strings.TrimPrefix(clause, "allow="), ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					continue
+				}
+				seed, err := strconv.ParseUint(f, 10, 64)
+				if err != nil {
+					return SeedPolicy{}, fmt.Errorf("service: seed policy: bad seed %q in %q", f, s)
+				}
+				p.Allow = append(p.Allow, seed)
+			}
+			if len(p.Allow) == 0 {
+				return SeedPolicy{}, fmt.Errorf("service: seed policy: empty allow list in %q", s)
+			}
+			sort.Slice(p.Allow, func(i, j int) bool { return p.Allow[i] < p.Allow[j] })
+		case strings.HasPrefix(rest, "max="):
+			clause = rest
+			if i := strings.IndexByte(rest, ','); i >= 0 {
+				clause, rest = rest[:i], rest[i+1:]
+			} else {
+				rest = ""
+			}
+			n, err := strconv.Atoi(strings.TrimPrefix(clause, "max="))
+			if err != nil || n <= 0 {
+				return SeedPolicy{}, fmt.Errorf("service: seed policy: bad max in %q", s)
+			}
+			p.MaxDistinct = n
+		default:
+			return SeedPolicy{}, fmt.Errorf("service: unknown seed policy %q (want any, fixed, allow=..., or max=N)", s)
+		}
+	}
+	return p, nil
+}
+
+// seedAdmission tracks one distinct seed's MaxDistinct quota slot:
+// pending counts in-flight framework resolutions under the admission,
+// granted becomes sticky once any of them produces a usable framework.
+// A slot whose every resolution failed is returned to the quota.
+type seedAdmission struct {
+	pending int
+	granted bool
+}
+
+// admitSeed enforces the seed policy for one resolution attempt. The
+// base seed always passes. For MaxDistinct it holds a quota slot for the
+// duration of the attempt; the caller must invoke settle exactly once
+// with whether the resolution yielded a framework. The slot is freed
+// only when no attempt is still pending and none ever succeeded — so
+// malformed requests (unknown task + fresh seed) cannot exhaust the
+// quota, while a concurrent success on the same seed keeps the slot
+// consumed even if a sibling attempt fails.
+func (s *Service) admitSeed(seed uint64) (settle func(granted bool), err error) {
+	noop := func(bool) {}
+	if seed == s.opts.Base.Seed {
+		return noop, nil
+	}
+	p := s.opts.Seeds
+	if p.Fixed {
+		return nil, fmt.Errorf("%w: policy is fixed to seed %d (got %d)", ErrSeedRejected, s.opts.Base.Seed, seed)
+	}
+	if len(p.Allow) > 0 {
+		i := sort.Search(len(p.Allow), func(i int) bool { return p.Allow[i] >= seed })
+		if i == len(p.Allow) || p.Allow[i] != seed {
+			return nil, fmt.Errorf("%w: seed %d is not in the allowlist", ErrSeedRejected, seed)
+		}
+	}
+	if p.MaxDistinct <= 0 {
+		return noop, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.admitted[seed]
+	if st == nil {
+		if len(s.admitted) >= p.MaxDistinct {
+			return nil, fmt.Errorf("%w: %d distinct seeds already admitted (max %d)", ErrSeedRejected, len(s.admitted), p.MaxDistinct)
+		}
+		st = &seedAdmission{}
+		s.admitted[seed] = st
+	}
+	st.pending++
+	return func(granted bool) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		st.pending--
+		if granted {
+			st.granted = true
+		}
+		if st.pending == 0 && !st.granted {
+			delete(s.admitted, seed)
+		}
+	}, nil
+}
+
+// ValidateWarmCapacity rejects a warm set the lifecycle cache cannot
+// hold: warming more distinct worlds than -cache-size would silently
+// evict the earliest ones and then report ready, handing the first
+// request for an evicted world exactly the cold-start latency the
+// warmup gate exists to hide. cacheSize 0 (unbounded) always fits.
+func ValidateWarmCapacity(keys []lifecycle.Key, cacheSize int) error {
+	if cacheSize <= 0 {
+		return nil
+	}
+	distinct := make(map[lifecycle.Key]bool, len(keys))
+	for _, k := range keys {
+		distinct[k] = true
+	}
+	if len(distinct) > cacheSize {
+		return fmt.Errorf("service: warm spec lists %d distinct worlds but the cache holds %d; raise -cache-size or trim -warm", len(distinct), cacheSize)
+	}
+	return nil
+}
+
+// ParseWarmSpec parses the -warm flag syntax: a comma-separated list of
+// worlds to pre-build, each "task" (at the server's base seed) or
+// "task:seed" — e.g. "nlp,cv:7". An empty spec warms nothing.
+func ParseWarmSpec(spec string, baseSeed uint64) ([]lifecycle.Key, error) {
+	var keys []lifecycle.Key
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		key := lifecycle.Key{Seed: baseSeed}
+		if task, seedStr, ok := strings.Cut(f, ":"); ok {
+			seed, err := strconv.ParseUint(seedStr, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("service: warm spec: bad seed in %q", f)
+			}
+			key.Task, key.Seed = task, seed
+		} else {
+			key.Task = f
+		}
+		if key.Task != datahub.TaskNLP && key.Task != datahub.TaskCV {
+			return nil, fmt.Errorf("service: warm spec: unknown task %q (want %q or %q)", key.Task, datahub.TaskNLP, datahub.TaskCV)
+		}
+		keys = append(keys, key)
+	}
+	return keys, nil
+}

@@ -1,11 +1,19 @@
 // Package service is the concurrent selection-serving layer: the first
 // piece of the architecture that turns the paper's two-phase pipeline into
-// something that can sit behind traffic. A Service lazily builds (or loads
-// from an artifact store) one core.Framework per task family behind a
-// singleflight guard — N concurrent requests for the same family trigger
-// exactly one offline build — and then serves online selections: single
-// targets, explicit batches, or the whole target catalog, fanned out across
-// a bounded concurrency budget.
+// something that can sit behind traffic. A Service resolves one
+// core.Framework per (task, seed) world through a lifecycle manager — a
+// capacity-bounded LRU cache with singleflight build coalescing and
+// refcounted handles, so N concurrent requests for the same world trigger
+// exactly one offline build and an eviction never tears a framework out
+// from under an in-flight selection — and then serves online selections:
+// single targets, explicit batches, or the whole target catalog, fanned
+// out across a bounded concurrency budget.
+//
+// The offline phase is a staged pipeline whose expensive stages persist
+// independently through the artifact store: the performance matrix and the
+// clustering artifact both round-trip, so a warm start loads them and
+// recomputes nothing — core.AssembleArtifacts rebuilds only the stages
+// whose inputs changed.
 //
 // Every result is bit-identical to the sequential pipeline: per-round
 // candidate training parallelizes via selection.Config.Workers (each run
@@ -17,6 +25,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -24,6 +33,7 @@ import (
 
 	"twophase/internal/core"
 	"twophase/internal/datahub"
+	"twophase/internal/lifecycle"
 	"twophase/internal/modelhub"
 	"twophase/internal/store"
 	"twophase/internal/trainer"
@@ -42,8 +52,8 @@ type Options struct {
 	// Workers below.
 	Base core.Options
 	// StoreDir, when non-empty, persists offline artifacts (performance
-	// matrices plus model/dataset specs) so later processes skip the
-	// offline build entirely.
+	// matrices, clustering artifacts, model/dataset specs) so later
+	// processes skip the offline build entirely.
 	StoreDir string
 	// Workers bounds per-round candidate-training parallelism inside one
 	// fine selection. 0 means one worker per CPU; 1 forces the
@@ -52,24 +62,26 @@ type Options struct {
 	// Concurrency bounds how many selections run at once in SelectAll.
 	// 0 means one per CPU.
 	Concurrency int
+	// CacheSize bounds how many built frameworks stay resident (LRU
+	// eviction; in-flight selections keep using an evicted framework
+	// until they finish). 0 means unbounded, which is safe only when
+	// Seeds bounds the distinct worlds clients can request.
+	CacheSize int
+	// Seeds is the admission policy for per-request seed overrides; the
+	// zero value admits any seed.
+	Seeds SeedPolicy
 }
 
-// flight is one singleflight cell: the first requester builds, everyone
-// else waits on done and shares the result.
-type flight struct {
-	done chan struct{}
-	fw   *core.Framework
-	err  error
-}
-
-// Service serves two-phase model selections with cached frameworks.
+// Service serves two-phase model selections with lifecycle-managed
+// frameworks.
 type Service struct {
 	opts Options
 	st   *store.Store
+	mgr  *lifecycle.Manager
 
 	mu         sync.Mutex
-	flights    map[string]*flight
-	persistErr error // last failed artifact write, if any
+	persistErr error                     // last failed artifact write, if any
+	admitted   map[uint64]*seedAdmission // distinct seeds admitted under MaxDistinct
 
 	builds int64 // offline builds actually executed (atomic)
 	cost   trainer.SharedLedger
@@ -84,7 +96,10 @@ func New(opts Options) (*Service, error) {
 	if opts.Concurrency <= 0 {
 		opts.Concurrency = runtime.GOMAXPROCS(0)
 	}
-	s := &Service{opts: opts, flights: make(map[string]*flight)}
+	if opts.CacheSize < 0 {
+		return nil, fmt.Errorf("service: negative cache size %d", opts.CacheSize)
+	}
+	s := &Service{opts: opts, admitted: make(map[uint64]*seedAdmission)}
 	if opts.StoreDir != "" {
 		st, err := store.Open(opts.StoreDir)
 		if err != nil {
@@ -92,6 +107,16 @@ func New(opts Options) (*Service, error) {
 		}
 		s.st = st
 	}
+	mgr, err := lifecycle.New(lifecycle.Options{
+		Capacity: opts.CacheSize,
+		Build: func(_ context.Context, key lifecycle.Key) (*core.Framework, error) {
+			return s.load(key.Task, key.Seed)
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s.mgr = mgr
 	return s, nil
 }
 
@@ -101,57 +126,70 @@ func New(opts Options) (*Service, error) {
 // cached, so the next caller retries. The context bounds only this
 // caller's wait: the shared build itself is never canceled by one dead
 // client, because its result serves every later request.
+//
+// The returned framework is not leased: it stays valid for the caller (it
+// is immutable), but the cache may evict it at any time. Request paths go
+// through acquire instead so eviction can account for in-flight use.
 func (s *Service) Framework(ctx context.Context, task string) (*core.Framework, error) {
-	return s.framework(ctx, task, s.opts.Base.Seed)
+	h, err := s.acquire(ctx, task, s.opts.Base.Seed)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Release()
+	return h.Framework(), nil
 }
 
-func (s *Service) framework(ctx context.Context, task string, seed uint64) (*core.Framework, error) {
-	key := matrixKey(task, seed)
-	s.mu.Lock()
-	if f, ok := s.flights[key]; ok {
-		s.mu.Unlock()
-		select {
-		case <-f.done:
-			return f.fw, f.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		}
+// acquire admits the seed and leases the framework for one world. The
+// admission is settled with the outcome: a seed whose every resolution
+// failed returns its MaxDistinct quota slot. A waiter dying on its own
+// context settles false, which is safe — the shared build's own acquire
+// is still pending and settles true if it succeeds.
+func (s *Service) acquire(ctx context.Context, task string, seed uint64) (*lifecycle.Handle, error) {
+	settle, err := s.admitSeed(seed)
+	if err != nil {
+		return nil, err
 	}
-	f := &flight{done: make(chan struct{})}
-	s.flights[key] = f
-	s.mu.Unlock()
-
-	f.fw, f.err = s.load(task, seed)
-	if f.err != nil {
-		s.mu.Lock()
-		delete(s.flights, key)
-		s.mu.Unlock()
-	}
-	close(f.done)
-	return f.fw, f.err
+	h, err := s.mgr.Get(ctx, lifecycle.Key{Task: task, Seed: seed})
+	settle(err == nil)
+	return h, err
 }
 
-// matrixKey names the stored matrix for a (task, seed) pair; the seed is
-// part of the key because the matrix encodes one synthetic world.
+// matrixKey names the stored artifacts for a (task, seed) pair; the seed
+// is part of the key because the artifacts encode one synthetic world.
 func matrixKey(task string, seed uint64) string {
-	return fmt.Sprintf("%s-seed%d", task, seed)
+	return lifecycle.Key{Task: task, Seed: seed}.String()
 }
 
-// load resolves a framework: from the store when a matching matrix is
-// persisted, otherwise by running the offline build (and persisting its
-// artifacts for the next process).
+// load resolves a framework: from the store when matching stage artifacts
+// are persisted, otherwise by running the offline build (and persisting
+// its artifacts for the next process). With both the matrix and the
+// clustering artifact on disk, a warm start recomputes neither — zero
+// fine-tuning runs and zero clustering passes.
 func (s *Service) load(task string, seed uint64) (*core.Framework, error) {
 	opts := s.opts.Base
 	opts.Task = task
 	opts.Seed = seed
 	opts.Workers = s.opts.Workers
+	key := matrixKey(task, seed)
 	if s.st != nil {
-		if m, err := s.st.GetMatrix(matrixKey(task, seed)); err == nil {
-			if fw, err := core.Assemble(opts, m); err == nil {
+		if m, err := s.st.GetMatrix(key); err == nil {
+			art := core.Artifacts{Matrix: m}
+			if ra, err := s.st.GetRecall(key); err == nil {
+				art.Recall = ra
+			}
+			if fw, err := core.AssembleArtifacts(opts, art); err == nil {
+				if !fw.Stages.RecallLoaded {
+					// The clustering artifact was missing or stale; the
+					// assembly recomputed it, so persist the fresh one
+					// for the next process (best-effort, like persist).
+					if err := s.st.PutRecall(key, fw.RecallArtifact()); err != nil {
+						s.setPersistErr(err)
+					}
+				}
 				return fw, nil
 			}
-			// Mismatched or stale artifact: fall through to a fresh
-			// build, which overwrites it.
+			// Mismatched or stale matrix: fall through to a fresh build,
+			// which overwrites every stage artifact.
 		}
 	}
 	fw, err := core.Build(opts)
@@ -165,12 +203,16 @@ func (s *Service) load(task string, seed uint64) (*core.Framework, error) {
 		// service permanently unable to serve on a full or read-only
 		// store volume. The error stays visible via PersistErr.
 		if err := s.persist(fw); err != nil {
-			s.mu.Lock()
-			s.persistErr = err
-			s.mu.Unlock()
+			s.setPersistErr(err)
 		}
 	}
 	return fw, nil
+}
+
+func (s *Service) setPersistErr(err error) {
+	s.mu.Lock()
+	s.persistErr = err
+	s.mu.Unlock()
 }
 
 // PersistErr reports the most recent artifact-write failure, or nil.
@@ -182,9 +224,15 @@ func (s *Service) PersistErr() error {
 	return s.persistErr
 }
 
-// persist writes the framework's offline artifacts to the store.
+// persist writes the framework's offline stage artifacts to the store:
+// the performance matrix (stage 2), the clustering artifact (stage 3),
+// and the world's model/dataset specs (stage 1's queryable form).
 func (s *Service) persist(fw *core.Framework) error {
-	if err := s.st.PutMatrix(matrixKey(fw.Task, fw.Seed), fw.Matrix); err != nil {
+	key := matrixKey(fw.Task, fw.Seed)
+	if err := s.st.PutMatrix(key, fw.Matrix); err != nil {
+		return err
+	}
+	if err := s.st.PutRecall(key, fw.RecallArtifact()); err != nil {
 		return err
 	}
 	specs := make([]modelhub.Spec, 0, fw.Repo.Len())
@@ -202,12 +250,44 @@ func (s *Service) persist(fw *core.Framework) error {
 }
 
 // Builds returns how many offline builds this service has executed — zero
-// when every framework came out of the store, one per family otherwise.
+// when every framework came out of the store, one per world otherwise.
 func (s *Service) Builds() int { return int(atomic.LoadInt64(&s.builds)) }
 
 // Cost returns a snapshot of the epochs spent by all selections served so
 // far, across all goroutines.
 func (s *Service) Cost() trainer.Ledger { return s.cost.Snapshot() }
+
+// CacheStats snapshots the lifecycle cache: occupancy, hit/miss/eviction
+// counts and cumulative build time.
+func (s *Service) CacheStats() lifecycle.Stats { return s.mgr.Stats() }
+
+// CacheEntries snapshots the resident frameworks, most recently used
+// first.
+func (s *Service) CacheEntries() []lifecycle.EntryStats { return s.mgr.Entries() }
+
+// Warm pre-builds the given worlds concurrently so the first real
+// request hits a resident framework; servers call it before reporting
+// ready. Each world goes through the same admission-and-settle path as a
+// request, so a failed warm build returns its seed-quota slot exactly
+// like a failed request does.
+func (s *Service) Warm(ctx context.Context, keys []lifecycle.Key) error {
+	errs := make([]error, len(keys))
+	var wg sync.WaitGroup
+	for i, k := range keys {
+		wg.Add(1)
+		go func(i int, k lifecycle.Key) {
+			defer wg.Done()
+			h, err := s.acquire(ctx, k.Task, k.Seed)
+			if err != nil {
+				errs[i] = fmt.Errorf("warm %s: %w", k, err)
+				return
+			}
+			h.Release()
+		}(i, k)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
 
 // Targets lists the task family's target dataset names in catalog order.
 func (s *Service) Targets(ctx context.Context, task string) ([]string, error) {
@@ -252,11 +332,11 @@ type Request struct {
 	// Strategy picks the selection procedure; empty means two-phase.
 	Strategy core.Strategy
 	// Seed optionally overrides the service's base world seed for this
-	// request. Frameworks are cached per (task, seed), so distinct seeds
-	// build (or load) distinct offline worlds. The cache has no eviction:
-	// an open deployment should restrict or ignore client-supplied seeds
-	// at the API boundary, or each new seed costs a full offline build
-	// that stays resident.
+	// request. Frameworks are cached per (task, seed) under the
+	// lifecycle cache's capacity bound, and the seed must pass the
+	// service's admission policy — an open deployment caps resident
+	// worlds with Options.CacheSize and restricts client seeds with
+	// Options.Seeds so untrusted requests cannot force unbounded builds.
 	Seed *uint64
 	// Workers overrides per-stage training parallelism for this request
 	// (0 keeps the service default). Outcomes are identical either way.
@@ -270,17 +350,23 @@ type Request struct {
 // targets out concurrently under the service's concurrency budget, and
 // returns per-target results in request order. A per-target failure is
 // recorded in its Result without aborting the rest of the batch; a
-// request-level failure (unknown task, canceled context while waiting on
-// the framework) is returned as the error.
+// request-level failure (unknown task, rejected seed, canceled context
+// while waiting on the framework) is returned as the error. A context
+// canceled mid-batch skips every queued target, recording ctx.Err() in
+// its Result instead of running the selection. The framework lease is
+// held until the whole batch finishes, so a concurrent eviction can never
+// invalidate it mid-request.
 func (s *Service) Do(ctx context.Context, req Request) ([]Result, error) {
 	seed := s.opts.Base.Seed
 	if req.Seed != nil {
 		seed = *req.Seed
 	}
-	fw, err := s.framework(ctx, req.Task, seed)
+	h, err := s.acquire(ctx, req.Task, seed)
 	if err != nil {
 		return nil, err
 	}
+	defer h.Release()
+	fw := h.Framework()
 	opts := core.SelectOptions{Strategy: req.Strategy, Workers: req.Workers, EnsembleK: req.EnsembleK}
 	results := make([]Result, len(req.Targets))
 	sem := make(chan struct{}, s.opts.Concurrency)
@@ -289,7 +375,14 @@ func (s *Service) Do(ctx context.Context, req Request) ([]Result, error) {
 		wg.Add(1)
 		go func(i int, name string) {
 			defer wg.Done()
-			sem <- struct{}{}
+			// A canceled batch must not keep queueing work: give up the
+			// wait for a slot and record why this target was skipped.
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				results[i] = Result{Target: name, Err: ctx.Err()}
+				return
+			}
 			defer func() { <-sem }()
 			d, err := fw.Catalog.Get(name)
 			if err != nil {

@@ -21,6 +21,7 @@ import (
 	"twophase/internal/datahub"
 	"twophase/internal/modelhub"
 	"twophase/internal/perfmatrix"
+	"twophase/internal/recall"
 )
 
 // Store is a directory-backed artifact store.
@@ -31,7 +32,7 @@ type Store struct {
 
 // Open creates (if needed) and opens a store rooted at dir.
 func Open(dir string) (*Store, error) {
-	for _, sub := range []string{"models", "datasets", "matrices"} {
+	for _, sub := range []string{"models", "datasets", "matrices", "recalls"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: create %s: %w", sub, err)
 		}
@@ -40,10 +41,40 @@ func Open(dir string) (*Store, error) {
 }
 
 // slug converts an artifact name (possibly containing "/") into a file
-// name.
+// name. The encoding is injective, so distinct names can never collide on
+// one file: "%", "_" and " " are percent-escaped before "/" maps to "__",
+// which means every underscore in the output comes from a slash pair —
+// "a/b" vs "a__b" and "a b" vs "a_b" all get distinct files.
 func slug(name string) string {
+	r := strings.NewReplacer("%", "%25", "_", "%5F", " ", "%20")
+	return strings.ReplaceAll(r.Replace(name), "/", "__") + ".json"
+}
+
+// unslug inverts slug (minus the ".json" suffix, which the caller strips).
+func unslug(base string) string {
+	n := strings.ReplaceAll(base, "__", "/")
+	r := strings.NewReplacer("%20", " ", "%5F", "_", "%25", "%")
+	return r.Replace(n)
+}
+
+// legacySlug is the pre-escaping encoding ("/"→"__", " "→"_"), kept so
+// stores written by older binaries stay readable: read falls back to it
+// on a miss, and write removes the legacy file once the artifact exists
+// under its collision-safe name.
+func legacySlug(name string) string {
 	r := strings.NewReplacer("/", "__", " ", "_")
 	return r.Replace(name) + ".json"
+}
+
+// legacyOnly reports whether a file name could only have been written by
+// the legacy encoding. New-format file names round-trip unslug→slug
+// exactly; a name that doesn't (a bare "_" outside a "__" pair, an
+// unescaped "%") must be a legacy artifact. Files that are valid under
+// both encodings (e.g. "a__b.json" is legacy "a__b" and new-format
+// "a/b") are treated as new-format, matching how list decodes them.
+func legacyOnly(file string) bool {
+	base := strings.TrimSuffix(file, ".json")
+	return slug(unslug(base)) != file
 }
 
 func (s *Store) write(kind, name string, v interface{}) error {
@@ -78,6 +109,15 @@ func (s *Store) write(kind, name string, v interface{}) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	// Migrate away from the ambiguous legacy encoding: with the artifact
+	// safely under its collision-safe name, a leftover legacy file would
+	// only shadow stale data and duplicate list entries. Only delete
+	// files the new encoding could never produce — otherwise the
+	// "legacy" path is some other name's current artifact, e.g.
+	// legacySlug("a__b") == slug("a/b").
+	if legacy := legacySlug(name); legacy != slug(name) && legacyOnly(legacy) {
+		os.Remove(filepath.Join(s.dir, kind, legacy))
+	}
 	return nil
 }
 
@@ -85,6 +125,14 @@ func (s *Store) read(kind, name string, v interface{}) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	data, err := os.ReadFile(filepath.Join(s.dir, kind, slug(name)))
+	if os.IsNotExist(err) {
+		// Stores written by older binaries used the legacy encoding; fall
+		// back only when that file couldn't be another name's current
+		// artifact under the new encoding.
+		if legacy := legacySlug(name); legacy != slug(name) && legacyOnly(legacy) {
+			data, err = os.ReadFile(filepath.Join(s.dir, kind, legacy))
+		}
+	}
 	if err != nil {
 		return fmt.Errorf("store: read %s/%s: %w", kind, name, err)
 	}
@@ -104,8 +152,7 @@ func (s *Store) list(kind string) ([]string, error) {
 		if !strings.HasSuffix(n, ".json") {
 			continue
 		}
-		n = strings.TrimSuffix(n, ".json")
-		names = append(names, strings.ReplaceAll(n, "__", "/"))
+		names = append(names, unslug(strings.TrimSuffix(n, ".json")))
 	}
 	sort.Strings(names)
 	return names, nil
@@ -180,6 +227,24 @@ func (s *Store) GetMatrix(name string) (*perfmatrix.Matrix, error) {
 
 // ListMatrices returns all stored matrix names, sorted.
 func (s *Store) ListMatrices() ([]string, error) { return s.list("matrices") }
+
+// PutRecall persists the clustering-stage artifact of the offline pipeline
+// under a name (conventionally the same key as the matrix it derives from).
+func (s *Store) PutRecall(name string, a *recall.Artifact) error {
+	return s.write("recalls", name, a)
+}
+
+// GetRecall retrieves a clustering-stage artifact by name.
+func (s *Store) GetRecall(name string) (*recall.Artifact, error) {
+	var a recall.Artifact
+	if err := s.read("recalls", name, &a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}
+
+// ListRecalls returns all stored recall-artifact names, sorted.
+func (s *Store) ListRecalls() ([]string, error) { return s.list("recalls") }
 
 // SaveRepository persists every spec of a repository.
 func (s *Store) SaveRepository(specs []modelhub.Spec) error {

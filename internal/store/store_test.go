@@ -1,11 +1,17 @@
 package store
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 
 	"twophase/internal/datahub"
 	"twophase/internal/modelhub"
 	"twophase/internal/perfmatrix"
+	"twophase/internal/recall"
 	"twophase/internal/synth"
 	"twophase/internal/trainer"
 )
@@ -50,6 +56,123 @@ func TestSlashNamesSurvive(t *testing.T) {
 	}
 	if _, err := s.GetModel("org/sub/model-v2"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSlugCollisionSafe: names that the old slugging collapsed onto one
+// file ("a/b" vs "a__b", "a b" vs "a_b") must each round-trip to their own
+// artifact, and listing must invert the encoding exactly.
+func TestSlugCollisionSafe(t *testing.T) {
+	s := openTemp(t)
+	names := []string{"a/b", "a__b", "a b", "a_b", "a%5Fb", "pct%name", "tri___ple"}
+	for i, name := range names {
+		spec := modelhub.Spec{Name: name, Task: "nlp", Arch: "bert",
+			Params: i + 1, Capability: 0.5, SourceClasses: 2}
+		if err := s.PutModel(spec); err != nil {
+			t.Fatalf("put %q: %v", name, err)
+		}
+	}
+	got, err := s.ListModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(names) {
+		t.Fatalf("stored %d names, listed %d: %v", len(names), len(got), got)
+	}
+	for i, name := range names {
+		spec, err := s.GetModel(name)
+		if err != nil {
+			t.Fatalf("get %q: %v", name, err)
+		}
+		if spec.Name != name || spec.Params != i+1 {
+			t.Fatalf("name %q read back as %+v — collision overwrote it", name, spec)
+		}
+	}
+}
+
+func TestSlugRoundTrip(t *testing.T) {
+	for _, name := range []string{"plain", "a/b/c", "a b c", "under_score", "%", "%25", "__", "mix_ %/x"} {
+		file := slug(name)
+		if got := unslug(strings.TrimSuffix(file, ".json")); got != name {
+			t.Errorf("slug(%q) = %q decodes to %q", name, file, got)
+		}
+		if strings.ContainsAny(file, "/ ") {
+			t.Errorf("slug(%q) = %q contains a path or space character", name, file)
+		}
+	}
+	// Injectivity over a brute-force alphabet of tricky short names.
+	alphabet := []rune{'a', '_', '/', ' ', '%'}
+	seen := map[string]string{}
+	var walk func(prefix string, depth int)
+	walk = func(prefix string, depth int) {
+		if prev, ok := seen[slug(prefix)]; ok && prev != prefix {
+			t.Fatalf("slug collision: %q and %q -> %q", prev, prefix, slug(prefix))
+		} else if !ok {
+			seen[slug(prefix)] = prefix
+		}
+		if depth == 0 {
+			return
+		}
+		for _, r := range alphabet {
+			walk(prefix+string(r), depth-1)
+		}
+	}
+	walk("", 4)
+}
+
+// TestLegacyStoreMigration: artifacts written by older binaries under the
+// ambiguous legacy encoding stay readable by exact name, and the next
+// write migrates them to the collision-safe name without duplicating
+// list entries.
+func TestLegacyStoreMigration(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a pre-upgrade store: a spec with "_" in its name filed
+	// under the legacy encoding (underscore kept literal).
+	spec := modelhub.Spec{Name: "Jeevesh8/bert_ft_qqp-40", Task: "nlp", Arch: "bert",
+		Params: 1, Capability: 0.5, SourceClasses: 2}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyPath := filepath.Join(dir, "models", "Jeevesh8__bert_ft_qqp-40.json")
+	if err := os.WriteFile(legacyPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := s.GetModel(spec.Name)
+	if err != nil {
+		t.Fatalf("legacy artifact unreadable after upgrade: %v", err)
+	}
+	if got.Name != spec.Name {
+		t.Fatalf("legacy read returned %+v", got)
+	}
+	// QueryModels walks list + get; it must survive a legacy store.
+	if specs, err := s.QueryModels("nlp", "", 0); err != nil || len(specs) != 1 {
+		t.Fatalf("QueryModels over legacy store: %v, %+v", err, specs)
+	}
+
+	// A rewrite migrates the file: new name present, legacy gone, one
+	// list entry, still readable.
+	spec.Capability = 0.9
+	if err := s.PutModel(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(legacyPath); !os.IsNotExist(err) {
+		t.Fatalf("legacy file not migrated away: %v", err)
+	}
+	names, err := s.ListModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != spec.Name {
+		t.Fatalf("post-migration names = %v", names)
+	}
+	if got, err := s.GetModel(spec.Name); err != nil || got.Capability != 0.9 {
+		t.Fatalf("post-migration read: %v, %+v", err, got)
 	}
 }
 
@@ -165,6 +288,36 @@ func TestMatrixRoundtrip(t *testing.T) {
 	}
 	if len(mats) != 1 || mats[0] != "nlp" {
 		t.Fatalf("matrices = %v", mats)
+	}
+}
+
+// TestRecallArtifactRoundtrip: the clustering-stage artifact persists and
+// reloads losslessly, and GetMissing-style lookups fail cleanly.
+func TestRecallArtifactRoundtrip(t *testing.T) {
+	s := openTemp(t)
+	art := &recall.Artifact{
+		Task: "nlp", Seed: 42, SimilarityK: 5, Threshold: 0.08, Scorer: "leep-calibrated",
+		Models: []string{"m0", "m1", "m2"}, Assign: []int{0, 1, 0}, Clusters: 2,
+	}
+	if err := s.PutRecall("nlp-seed42", art); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.GetRecall("nlp-seed42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, art) {
+		t.Fatalf("recall artifact changed across roundtrip: %+v vs %+v", got, art)
+	}
+	names, err := s.ListRecalls()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "nlp-seed42" {
+		t.Fatalf("recalls = %v", names)
+	}
+	if _, err := s.GetRecall("nope"); err == nil {
+		t.Fatal("missing recall artifact accepted")
 	}
 }
 
