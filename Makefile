@@ -1,8 +1,11 @@
 GO ?= go
 SERVER_FLAGS ?=
+GATEWAY_FLAGS ?= -backends http://127.0.0.1:8080
 BENCH_JSON ?= BENCH_service.json
+COVER_PROFILE ?= coverage.out
+COVER_FLOOR ?= 70.0
 
-.PHONY: verify race bench bench-json fmt vet build test run-server
+.PHONY: verify race bench bench-json fmt vet build test run-server run-gateway cover cover-check fuzz
 
 # verify is the tier-1 gate: exactly what CI and the roadmap run.
 verify: build test
@@ -13,10 +16,30 @@ build:
 test:
 	$(GO) test ./...
 
-# race runs the full suite under the race detector (the serving layer is
-# concurrent; this must stay clean).
+# race runs the full suite under the race detector with shuffled test
+# order (the serving layer is concurrent; this must stay clean and
+# order-independent).
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
+
+# cover emits a coverage profile and enforces the floor CI gates on.
+cover:
+	$(GO) test -coverprofile=$(COVER_PROFILE) ./...
+	$(MAKE) cover-check
+
+# cover-check gates an existing profile against the floor; CI reuses it
+# on the profile its race run emits, so the gate logic exists once.
+cover-check:
+	@total=$$($(GO) tool cover -func=$(COVER_PROFILE) | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+	  { echo "coverage $$total% is below the $(COVER_FLOOR)% floor" >&2; exit 1; }
+
+# fuzz smoke-runs the native fuzz targets for a few seconds each; real
+# fuzzing campaigns should raise -fuzztime.
+fuzz:
+	$(GO) test -fuzz=FuzzSlugInjective -fuzztime=10s -run='^$$' ./internal/store
+	$(GO) test -fuzz=FuzzSlugPairwise -fuzztime=10s -run='^$$' ./internal/store
 
 # bench smoke-runs every benchmark once; use `go test -bench=. -benchmem`
 # for real measurements.
@@ -33,6 +56,12 @@ bench-json:
 # `make run-server SERVER_FLAGS='-addr :9090 -store /tmp/twophase-store'`.
 run-server:
 	$(GO) run ./cmd/apiserver $(SERVER_FLAGS)
+
+# run-gateway fronts a backend fleet on :8090; point GATEWAY_FLAGS at the
+# real backends, e.g. `make run-gateway GATEWAY_FLAGS='-backends
+# http://h1:8080,http://h2:8080 -replicas 2'`.
+run-gateway:
+	$(GO) run ./cmd/gateway $(GATEWAY_FLAGS)
 
 fmt:
 	gofmt -l .

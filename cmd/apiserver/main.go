@@ -29,6 +29,9 @@
 //	                     task:seed); healthz answers 503 until done
 //	-seed-policy P       admission policy for per-request seeds: any
 //	                     (default), fixed, allow=1,7,42, or max=N
+//	-instance ID         instance id stamped on responses as X-Instance-Id
+//	                     (default: the bound listen address); the sharding
+//	                     gateway uses it to report and assert routing
 //	-train/-val/-test N  split sizes (0 = paper defaults; set all or none)
 //	-shutdown-grace D    drain window after SIGTERM/SIGINT (default 15s)
 //
@@ -39,11 +42,11 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -65,6 +68,7 @@ type config struct {
 	cacheSize     int
 	warmSpec      string
 	seedPolicy    string
+	instance      string
 	sizes         datahub.Sizes
 	shutdownGrace time.Duration
 }
@@ -79,6 +83,7 @@ func main() {
 	flag.IntVar(&cfg.cacheSize, "cache-size", 0, "max resident frameworks, LRU-evicted beyond it (0 = unbounded)")
 	flag.StringVar(&cfg.warmSpec, "warm", "", `worlds to pre-build before reporting ready, e.g. "nlp,cv:7"`)
 	flag.StringVar(&cfg.seedPolicy, "seed-policy", "any", "per-request seed admission: any, fixed, allow=..., max=N")
+	flag.StringVar(&cfg.instance, "instance", "", "instance id for the X-Instance-Id header (default: bound address)")
 	flag.IntVar(&cfg.sizes.Train, "train", 0, "train split size (0 = default)")
 	flag.IntVar(&cfg.sizes.Val, "val", 0, "val split size (0 = default)")
 	flag.IntVar(&cfg.sizes.Test, "test", 0, "test split size (0 = default)")
@@ -131,42 +136,42 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	// The listener accepts immediately, but healthz reports "warming"
 	// (503) until the configured worlds are resident, so load balancers
 	// hold traffic while the expensive offline phase runs. A failed
-	// warmup is a configuration error and brings the server down.
+	// warmup is a configuration error and brings the server down (the
+	// cancel cause survives the graceful drain and is returned below).
 	var warmed atomic.Bool
 	warmed.Store(len(warmKeys) == 0)
-	errc := make(chan error, 2)
+	ctx, fail := context.WithCancelCause(ctx)
+	defer fail(nil)
 	if len(warmKeys) > 0 {
 		go func() {
 			if err := svc.Warm(ctx, warmKeys); err != nil {
-				errc <- fmt.Errorf("warmup: %w", err)
+				fail(fmt.Errorf("warmup: %w", err))
 				return
 			}
 			warmed.Store(true)
 			log.Printf("apiserver: warmup done, %d worlds resident (%s); reporting ready", len(warmKeys), cfg.warmSpec)
 		}()
 	}
-	srv := &http.Server{Handler: api.NewReadyHandler(api.NewDispatcher(svc, cfg.seed), warmed.Load)}
-	log.Printf("apiserver: serving v1 selection API on %s (seed %d, cache-size %d, seed-policy %s)",
-		ln.Addr(), cfg.seed, cfg.cacheSize, seeds)
+	// Every response names its serving process, so a routing tier (and
+	// its tests) can assert which backend actually served a request.
+	instance := cfg.instance
+	if instance == "" {
+		instance = ln.Addr().String()
+	}
+	handler := api.NewHandlerWith(api.NewDispatcher(svc, cfg.seed), api.HandlerOptions{
+		Ready:    warmed.Load,
+		Instance: instance,
+	})
+	log.Printf("apiserver: serving v1 selection API on %s (instance %s, seed %d, cache-size %d, seed-policy %s)",
+		ln.Addr(), instance, cfg.seed, cfg.cacheSize, seeds)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
-	go func() { errc <- srv.Serve(ln) }()
-	select {
-	case err := <-errc:
-		srv.Close()
-		return err
-	case <-ctx.Done():
+	err = api.ServeUntilShutdown(ctx, ln, handler, cfg.shutdownGrace)
+	// A warmup failure canceled the context itself; it is the exit
+	// error, not a clean shutdown.
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+		return cause
 	}
-	log.Printf("apiserver: shutting down, draining for up to %s", cfg.shutdownGrace)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
-	defer cancel()
-	if err := srv.Shutdown(shutdownCtx); err != nil {
-		// Grace expired with selections still burning epochs: close the
-		// connections so their request contexts cancel the per-round
-		// loops.
-		srv.Close()
-		return fmt.Errorf("drain window expired: %w", err)
-	}
-	return nil
+	return err
 }

@@ -1,0 +1,152 @@
+// Command gateway fronts a fleet of apiserver backends with consistent-
+// hash routing: every (task, seed) world hashes to a stable replica owner
+// set, batch selections scatter across the world's live owners and gather
+// back in request order, and a sub-request hitting a dead backend fails
+// over to the next replica — selections are deterministic in the world,
+// so failover is invisible to clients. Backends are health-probed; a
+// backend is marked down after consecutive probe failures and re-admitted
+// on recovery, reclaiming its exact key range (cache affinity survives a
+// bounce).
+//
+// The gateway serves the same v1 contract as a single backend:
+//
+//	POST /v1/select                  scatter-gathered selection
+//	GET  /v1/tasks/{task}/targets    proxied target catalog
+//	GET  /v1/healthz                 ok while ≥1 backend is alive
+//	GET  /v1/stats                   fleet sums + ring/routing counters
+//
+// Usage:
+//
+//	gateway -backends http://h1:8080,http://h2:8080 [flags]
+//
+// Flags:
+//
+//	-addr HOST:PORT      listen address (default :8090)
+//	-backends URLS       comma-separated backend base URLs (required)
+//	-replicas N          owner replicas per (task, seed) key (default 2)
+//	-vnodes N            virtual nodes per backend on the ring (default 64)
+//	-seed N              routing seed for requests without one; must match
+//	                     the backends' -seed (default 42)
+//	-probe-interval D    health-check period (default 1s)
+//	-probe-failures K    consecutive failures that mark a backend down
+//	                     (default 2)
+//	-instance ID         this gateway's X-Instance-Id (default "gateway")
+//	-shutdown-grace D    drain window after SIGTERM/SIGINT (default 15s)
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"twophase/internal/api"
+	"twophase/internal/shard"
+)
+
+type config struct {
+	addr          string
+	backends      string
+	replicas      int
+	vnodes        int
+	seed          uint64
+	probeInterval time.Duration
+	probeFailures int
+	instance      string
+	shutdownGrace time.Duration
+}
+
+func main() {
+	cfg := config{}
+	flag.StringVar(&cfg.addr, "addr", ":8090", "listen address")
+	flag.StringVar(&cfg.backends, "backends", "", "comma-separated backend base URLs (required)")
+	flag.IntVar(&cfg.replicas, "replicas", shard.DefaultReplicas, "owner replicas per (task, seed) key")
+	flag.IntVar(&cfg.vnodes, "vnodes", shard.DefaultVNodes, "virtual nodes per backend on the ring")
+	flag.Uint64Var(&cfg.seed, "seed", 42, "routing seed for requests without one (must match the backends')")
+	flag.DurationVar(&cfg.probeInterval, "probe-interval", shard.DefaultProbeInterval, "health-check period")
+	flag.IntVar(&cfg.probeFailures, "probe-failures", shard.DefaultProbeThreshold, "consecutive probe failures that mark a backend down")
+	flag.StringVar(&cfg.instance, "instance", "gateway", "this gateway's X-Instance-Id")
+	flag.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 15*time.Second, "drain window on SIGTERM/SIGINT")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "gateway:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBackends splits and sanity-checks the -backends flag.
+func parseBackends(spec string) ([]string, error) {
+	var out []string
+	for _, b := range strings.Split(spec, ",") {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			continue
+		}
+		if !strings.HasPrefix(b, "http://") && !strings.HasPrefix(b, "https://") {
+			return nil, fmt.Errorf("backend %q is not an http(s) URL", b)
+		}
+		out = append(out, strings.TrimRight(b, "/"))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-backends is required (comma-separated base URLs)")
+	}
+	return out, nil
+}
+
+// run starts the gateway and blocks until ctx is canceled (then drains
+// for the grace window) or the listener fails. If ready is non-nil the
+// bound address is sent once the listener is up, so tests can bind
+// 127.0.0.1:0.
+func run(ctx context.Context, cfg config, ready chan<- string) error {
+	backends, err := parseBackends(cfg.backends)
+	if err != nil {
+		return err
+	}
+	if cfg.replicas <= 0 || cfg.vnodes <= 0 || cfg.probeFailures <= 0 || cfg.probeInterval <= 0 {
+		return fmt.Errorf("-replicas, -vnodes, -probe-interval and -probe-failures must be positive")
+	}
+	router, err := shard.NewRouter(shard.RouterOptions{
+		Backends:       backends,
+		Replicas:       cfg.replicas,
+		VNodes:         cfg.vnodes,
+		Seed:           cfg.seed,
+		ProbeInterval:  cfg.probeInterval,
+		ProbeThreshold: cfg.probeFailures,
+	})
+	if err != nil {
+		return err
+	}
+	router.Start(ctx)
+	defer router.Close()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	// The gateway is ready when at least one backend has been probed
+	// alive: healthz answers 503 while the whole fleet is down or still
+	// warming, so a load balancer in front of multiple gateways holds
+	// traffic exactly like one in front of a warming single node. Until
+	// the first probe round lands, membership's optimistic defaults
+	// must not leak out as readiness.
+	members := router.Membership()
+	handler := api.NewHandlerWith(router, api.HandlerOptions{
+		Ready:    func() bool { return members.Probed() && members.AliveCount() > 0 },
+		Instance: cfg.instance,
+	})
+	log.Printf("gateway: routing v1 selection API on %s across %d backends (replicas %d, vnodes %d, seed %d)",
+		ln.Addr(), len(backends), cfg.replicas, cfg.vnodes, cfg.seed)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	return api.ServeUntilShutdown(ctx, ln, handler, cfg.shutdownGrace)
+}

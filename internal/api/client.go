@@ -63,8 +63,30 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 
 // Health checks the server's liveness endpoint.
 func (c *Client) Health(ctx context.Context) error {
+	_, err := c.Healthz(ctx)
+	return err
+}
+
+// Healthz fetches the server's health document, including its instance
+// id. An unready server (503 "warming") is an error.
+func (c *Client) Healthz(ctx context.Context) (*Health, error) {
 	var resp Health
-	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, &resp)
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// instanceCaptureKey carries the capture destination of
+// WithInstanceCapture through a request context.
+type instanceCaptureKey struct{}
+
+// WithInstanceCapture makes client calls under the returned context
+// record each response's X-Instance-Id header into *dst. The sharding
+// gateway uses it to learn which backend served a forwarded request; dst
+// must not be shared across concurrent calls.
+func WithInstanceCapture(ctx context.Context, dst *string) context.Context {
+	return context.WithValue(ctx, instanceCaptureKey{}, dst)
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out interface{}) error {
@@ -80,6 +102,9 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 		return classify(err)
 	}
 	defer res.Body.Close()
+	if dst, ok := ctx.Value(instanceCaptureKey{}).(*string); ok {
+		*dst = res.Header.Get(InstanceHeader)
+	}
 	data, err := io.ReadAll(res.Body)
 	if err != nil {
 		return fmt.Errorf("api: read response: %w", err)

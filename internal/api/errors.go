@@ -28,6 +28,11 @@ var (
 	// server's admission policy refuses — minting a new offline world is
 	// a privilege, not a request parameter, on an open deployment.
 	ErrSeedRejected = errors.New("api: seed rejected")
+	// ErrUnavailable marks a request no backend could serve: the sharding
+	// gateway exhausted every replica of the key's owner set (or none was
+	// alive to begin with). Unlike the other sentinels it is transient —
+	// clients may retry after backends recover.
+	ErrUnavailable = errors.New("api: no backend available")
 )
 
 // StatusClientClosedRequest is nginx's nonstandard 499 "client closed
@@ -43,7 +48,7 @@ func classify(err error) error {
 		return nil
 	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrUnknownTask),
 		errors.Is(err, ErrUnknownTarget), errors.Is(err, ErrCanceled),
-		errors.Is(err, ErrSeedRejected):
+		errors.Is(err, ErrSeedRejected), errors.Is(err, ErrUnavailable):
 		return err
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return fmt.Errorf("%w: %v", ErrCanceled, err)
@@ -71,6 +76,8 @@ func HTTPStatus(err error) int {
 		return http.StatusForbidden
 	case errors.Is(err, ErrCanceled):
 		return StatusClientClosedRequest
+	case errors.Is(err, ErrUnavailable):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
 	}
@@ -84,6 +91,7 @@ const (
 	CodeUnknownTarget = "unknown_target"
 	CodeSeedRejected  = "seed_rejected"
 	CodeCanceled      = "canceled"
+	CodeUnavailable   = "unavailable"
 	CodeInternal      = "internal"
 )
 
@@ -100,6 +108,8 @@ func Code(err error) string {
 		return CodeSeedRejected
 	case errors.Is(err, ErrCanceled):
 		return CodeCanceled
+	case errors.Is(err, ErrUnavailable):
+		return CodeUnavailable
 	default:
 		return CodeInternal
 	}
@@ -123,6 +133,8 @@ func errFromCode(code, msg string) error {
 		sentinel = ErrSeedRejected
 	case CodeCanceled:
 		sentinel = ErrCanceled
+	case CodeUnavailable:
+		sentinel = ErrUnavailable
 	default:
 		return errors.New(msg)
 	}

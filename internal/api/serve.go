@@ -1,0 +1,40 @@
+package api
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ServeUntilShutdown serves handler on ln until ctx is canceled, then
+// drains in-flight requests for the grace window; requests still running
+// after it are aborted by closing their connections, which cancels their
+// request contexts down into the per-round training loops. It returns
+// nil on a clean drain, the listener error if serving fails first, or a
+// drain-expiry error. Both cmd/apiserver and cmd/gateway route their
+// serve-and-drain tail through here so the shutdown semantics cannot
+// diverge.
+func ServeUntilShutdown(ctx context.Context, ln net.Listener, handler http.Handler, grace time.Duration) error {
+	srv := &http.Server{Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("api: shutting down, draining for up to %s", grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// Grace expired with requests still burning epochs: close the
+		// connections so their contexts cancel the per-round loops.
+		srv.Close()
+		return fmt.Errorf("drain window expired: %w", err)
+	}
+	return nil
+}

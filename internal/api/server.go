@@ -11,6 +11,25 @@ import (
 // small JSON documents, so anything bigger is a client bug.
 const maxBodyBytes = 1 << 20
 
+// InstanceHeader is the response header naming the serving process. The
+// sharding gateway reads it off backend responses to assert and report
+// routing; multi-process tests assert routing stability through it.
+const InstanceHeader = "X-Instance-Id"
+
+// HandlerOptions tunes NewHandlerWith.
+type HandlerOptions struct {
+	// Ready gates /v1/healthz: until it reports true (e.g. while
+	// configured framework warmup is still building), healthz answers
+	// 503 {"status":"warming"} so load balancers hold traffic until the
+	// first request can hit a resident framework. nil means always
+	// ready. The selection endpoints are not gated — a request that
+	// arrives early simply waits on the build.
+	Ready func() bool
+	// Instance, when non-empty, is stamped on every response as the
+	// X-Instance-Id header and echoed in the healthz body.
+	Instance string
+}
+
 // NewHandler mounts the v1 contract on an http.Handler:
 //
 //	POST /v1/select                  single or batch selection
@@ -20,15 +39,17 @@ const maxBodyBytes = 1 << 20
 //
 // Every response body is JSON; failures carry ErrorResponse with a
 // machine-readable code and the status from HTTPStatus.
-func NewHandler(a API) http.Handler { return NewReadyHandler(a, nil) }
+func NewHandler(a API) http.Handler { return NewHandlerWith(a, HandlerOptions{}) }
 
-// NewReadyHandler is NewHandler with a readiness gate: until ready
-// reports true (e.g. while configured framework warmup is still
-// building), /v1/healthz answers 503 {"status":"warming"} so load
-// balancers hold traffic until the first request can hit a resident
-// framework. A nil ready means always ready. The selection endpoints are
-// not gated — a request that arrives early simply waits on the build.
+// NewReadyHandler is NewHandler with a readiness gate (see
+// HandlerOptions.Ready).
 func NewReadyHandler(a API, ready func() bool) http.Handler {
+	return NewHandlerWith(a, HandlerOptions{Ready: ready})
+}
+
+// NewHandlerWith is NewHandler with the full option set.
+func NewHandlerWith(a API, opts HandlerOptions) http.Handler {
+	ready := opts.Ready
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/select", func(w http.ResponseWriter, r *http.Request) {
 		var req SelectRequest
@@ -58,10 +79,10 @@ func NewReadyHandler(a API, ready func() bool) http.Handler {
 	})
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if ready != nil && !ready() {
-			writeJSON(w, http.StatusServiceUnavailable, Health{Status: "warming"})
+			writeJSON(w, http.StatusServiceUnavailable, Health{Status: "warming", Instance: opts.Instance})
 			return
 		}
-		writeJSON(w, http.StatusOK, Health{Status: "ok"})
+		writeJSON(w, http.StatusOK, Health{Status: "ok", Instance: opts.Instance})
 	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		resp, err := a.Stats(r.Context())
@@ -71,7 +92,13 @@ func NewReadyHandler(a API, ready func() bool) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
-	return mux
+	if opts.Instance == "" {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(InstanceHeader, opts.Instance)
+		mux.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {

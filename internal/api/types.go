@@ -51,6 +51,10 @@ type TargetResult struct {
 	// ErrorCode is the machine-readable code for Error ("unknown_target",
 	// "canceled", "internal", ...).
 	ErrorCode string `json:"error_code,omitempty"`
+	// Backend is the instance id of the backend that served this target,
+	// set only by the sharding gateway (from the backend's X-Instance-Id
+	// response header) so clients and tests can assert routing.
+	Backend string `json:"backend,omitempty"`
 }
 
 // SelectResponse is the whole selection document.
@@ -95,6 +99,10 @@ type Stats struct {
 	PersistError    string `json:"persist_error,omitempty"`
 	// Cache describes the framework lifecycle cache.
 	Cache CacheStats `json:"cache"`
+	// Gateway is set only on a sharding gateway's stats: ring shape,
+	// routing counters and per-backend health + aggregated backend stats.
+	// On a gateway, the top-level counters above are fleet-wide sums.
+	Gateway *GatewayStats `json:"gateway,omitempty"`
 }
 
 // CacheStats is the framework lifecycle cache's observability snapshot.
@@ -119,9 +127,47 @@ type CacheStats struct {
 	BuildMillis   int64 `json:"build_ms"`
 }
 
+// GatewayStats is the sharding gateway's routing snapshot.
+type GatewayStats struct {
+	// Backends / VNodes / Replicas describe the consistent-hash ring:
+	// backend count, virtual nodes per backend, and replica owners per
+	// (task, seed) key.
+	Backends int `json:"backends"`
+	VNodes   int `json:"vnodes"`
+	Replicas int `json:"replicas"`
+	// Alive counts backends currently considered serving.
+	Alive int `json:"alive"`
+	// Failovers counts sub-requests retried on another replica after a
+	// connection error or backend-side failure.
+	Failovers int64 `json:"failovers"`
+	// BackendStats describes each backend in configured order.
+	BackendStats []BackendStats `json:"backend_stats"`
+}
+
+// BackendStats is one backend's view from the gateway.
+type BackendStats struct {
+	URL string `json:"url"`
+	// Instance is the backend's self-reported instance id (empty until
+	// the first successful health probe).
+	Instance string `json:"instance,omitempty"`
+	Alive    bool   `json:"alive"`
+	// DownEvents counts up→down health transitions.
+	DownEvents int64 `json:"down_events"`
+	// Requests counts sub-requests the gateway routed to this backend;
+	// Failures counts the ones that errored (before any failover).
+	Requests int64 `json:"requests"`
+	Failures int64 `json:"failures"`
+	// Stats is the backend's own /v1/stats snapshot, when reachable.
+	Stats *Stats `json:"stats,omitempty"`
+}
+
 // Health is the /v1/healthz body.
 type Health struct {
 	Status string `json:"status"`
+	// Instance identifies the serving process, mirroring the
+	// X-Instance-Id response header; empty when the server has no
+	// configured instance id.
+	Instance string `json:"instance,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx response.

@@ -1,0 +1,155 @@
+package shard_test
+
+// Cross-path determinism: the same selection request must produce a
+// bit-identical report no matter which serving path carries it — a direct
+// Framework.SelectWith call, the in-process Dispatcher, a single-node
+// HTTP server, or the sharding gateway. This is the property that makes
+// the whole distributed tier safe: replicas can serve any key, failover
+// is invisible, and a cache hit can never change an answer.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"twophase/internal/api"
+	"twophase/internal/core"
+	"twophase/internal/datahub"
+	"twophase/internal/service"
+	"twophase/internal/shard"
+)
+
+var detSizes = datahub.Sizes{Train: 60, Val: 40, Test: 48}
+
+// renderedReport is the serving outcome in wire form, comparable across
+// every path.
+type renderedReport struct {
+	Winner   string
+	Members  string
+	ValAcc   float64
+	TestAcc  float64
+	Epochs   float64
+	Recalled int
+}
+
+func renderResult(tr api.TargetResult) renderedReport {
+	return renderedReport{
+		Winner:   tr.Winner,
+		Members:  fmt.Sprint(tr.Members),
+		ValAcc:   tr.ValAcc,
+		TestAcc:  tr.TestAcc,
+		Epochs:   tr.Epochs,
+		Recalled: tr.Recalled,
+	}
+}
+
+func renderReport(r *core.Report) renderedReport {
+	out := renderedReport{
+		Winner:  r.Outcome.Winner,
+		Members: fmt.Sprint(r.Members),
+		ValAcc:  r.Outcome.WinnerVal,
+		TestAcc: r.Outcome.WinnerTest,
+		Epochs:  r.TotalEpochs(),
+	}
+	if r.Recall != nil {
+		out.Recalled = len(r.Recall.Recalled)
+	}
+	return out
+}
+
+// TestCrossPathDeterminism drives every strategy at two seeds through all
+// four serving paths and requires bit-identical outcomes.
+func TestCrossPathDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 4 strategies x 2 seeds x 4 serving paths")
+	}
+	ctx := context.Background()
+	const task, target = "nlp", "tweet_eval"
+	seeds := []uint64{0, 7}
+	strategies := []core.Strategy{core.StrategyTwoPhase, core.StrategySH, core.StrategyBF, core.StrategyEnsemble}
+
+	// One shared service backs the dispatcher, the HTTP node and the
+	// gateway's backends; the direct path rebuilds each framework from
+	// scratch, so agreement is end-to-end, not cache reuse.
+	svc, err := service.New(service.Options{Base: core.Options{Seed: seeds[0], Sizes: detSizes}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := api.NewDispatcher(svc, seeds[0])
+
+	node := httptest.NewServer(api.NewHandlerWith(disp, api.HandlerOptions{Instance: "node"}))
+	defer node.Close()
+	nodeClient := api.NewClient(node.URL, nil)
+
+	// The gateway fronts two "backends" (same service behind two URLs —
+	// the scatter/merge and failover machinery is fully exercised; world
+	// state is identical by construction, as it would be via the store).
+	b2 := httptest.NewServer(api.NewHandlerWith(disp, api.HandlerOptions{Instance: "node2"}))
+	defer b2.Close()
+	router, err := shard.NewRouter(shard.RouterOptions{
+		Backends:      []string{node.URL, b2.URL},
+		Replicas:      2,
+		Seed:          seeds[0],
+		ProbeInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routerCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	router.Start(routerCtx)
+	defer router.Close()
+
+	directs := make(map[uint64]*core.Framework, len(seeds))
+	for _, seed := range seeds {
+		fw, err := core.Build(core.Options{Task: task, Seed: seed, Sizes: detSizes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		directs[seed] = fw
+	}
+
+	for _, strat := range strategies {
+		for _, seed := range seeds {
+			t.Run(fmt.Sprintf("%s/seed%d", strat, seed), func(t *testing.T) {
+				// Path 1: direct framework call.
+				d, err := directs[seed].Catalog.Get(target)
+				if err != nil {
+					t.Fatal(err)
+				}
+				report, err := directs[seed].SelectWith(ctx, d, core.SelectOptions{Strategy: strat})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := renderReport(report)
+
+				s := seed
+				req := &api.SelectRequest{Task: task, Targets: []string{target}, Strategy: string(strat), Seed: &s}
+				for _, path := range []struct {
+					name string
+					api  api.API
+				}{
+					{"dispatcher", disp},
+					{"http", nodeClient},
+					{"gateway", router},
+				} {
+					resp, err := path.api.Select(ctx, req)
+					if err != nil {
+						t.Fatalf("%s: %v", path.name, err)
+					}
+					if resp.Failed != 0 || len(resp.Results) != 1 {
+						t.Fatalf("%s: %+v", path.name, resp)
+					}
+					if got := renderResult(resp.Results[0]); got != want {
+						t.Fatalf("%s diverged from direct call:\n got %+v\nwant %+v", path.name, got, want)
+					}
+					if resp.Seed != seed || resp.Strategy != string(strat) {
+						t.Fatalf("%s response header drifted: %+v", path.name, resp)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingRejectsBadNodeSets(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty node set accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 0); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+}
+
+// TestRingDeterministic: two rings over the same node set route every key
+// identically — the property that lets independent gateway processes
+// agree on owners without coordination.
+func TestRingDeterministic(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1, err := NewRing(nodes, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := RouteKey("nlp", uint64(i))
+		if got, want := r1.Owners(key, 2), r2.Owners(key, 2); !reflect.DeepEqual(got, want) {
+			t.Fatalf("rings disagree on %q: %v vs %v", key, got, want)
+		}
+	}
+}
+
+// TestRingOwnersDistinctAndClamped: the owner list never repeats a node
+// and never exceeds the fleet size.
+func TestRingOwnersDistinct(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	r, err := NewRing(nodes, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		owners := r.Owners(fmt.Sprintf("key-%d", i), 5)
+		if len(owners) != len(nodes) {
+			t.Fatalf("owners(%d, 5) over 3 nodes = %v", i, owners)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("duplicate owner in %v", owners)
+			}
+			seen[o] = true
+		}
+	}
+	if got := r.Owners("k", 0); len(got) != 1 {
+		t.Fatalf("owners(k, 0) = %v, want primary only", got)
+	}
+	if r.Owner("k") != r.Owners("k", 1)[0] {
+		t.Fatal("Owner disagrees with Owners")
+	}
+}
+
+// TestRingBalance: with enough vnodes, every node owns a reasonable share
+// of the key space (no node is starved or hot by more than ~3x).
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r, err := NewRing(nodes, 0) // DefaultVNodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("task-%d-seed%d", i%7, i))]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / keys
+		if share < 0.25/3 || share > 0.25*3 {
+			t.Fatalf("node %s owns %.1f%% of keys (counts %v)", n, 100*share, counts)
+		}
+	}
+}
+
+// TestRingStabilityUnderMembership: a key's surviving owners keep their
+// relative priority when a node is removed from the fleet — the skip-dead
+// lookup strategy depends on it.
+func TestRingStabilityUnderRemoval(t *testing.T) {
+	all := []string{"a", "b", "c", "d"}
+	full, err := NewRing(all, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without := map[string]*Ring{}
+	for _, dead := range all {
+		var rest []string
+		for _, n := range all {
+			if n != dead {
+				rest = append(rest, n)
+			}
+		}
+		without[dead], err = NewRing(rest, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved := 0
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owner := full.Owner(key)
+		for _, dead := range all {
+			if dead == owner {
+				continue
+			}
+			// Removing an unrelated node must not reroute this key.
+			if got := without[dead].Owner(key); got != owner {
+				moved++
+			}
+		}
+	}
+	if moved > 0 {
+		t.Fatalf("%d/%d key-owner pairs moved when an unrelated node left the ring", moved, keys*3)
+	}
+}
+
+func TestRouteKeyMatchesStoreKey(t *testing.T) {
+	// The routing key and the artifact store key must stay one namespace:
+	// the node that owns a world owns its artifacts' locality.
+	if got := RouteKey("nlp", 42); got != "nlp-seed42" {
+		t.Fatalf("RouteKey = %q", got)
+	}
+}

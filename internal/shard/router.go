@@ -1,0 +1,440 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"twophase/internal/api"
+	"twophase/internal/core"
+)
+
+// DefaultReplicas is the owner-set size per (task, seed) key when
+// RouterOptions leaves it unset: a primary plus one failover replica.
+const DefaultReplicas = 2
+
+// statsTimeout bounds how long a gateway stats scrape waits on each
+// backend's /v1/stats. Stats are cheap counters server-side; a backend
+// that cannot answer within this is wedged and reported without a
+// stats document rather than stalling the scrape.
+const statsTimeout = 5 * time.Second
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Backends are the backend base URLs (e.g. "http://10.0.0.3:8080").
+	// Required, and fixed for the router's lifetime.
+	Backends []string
+	// Replicas is the owner-set size per key (0 = DefaultReplicas,
+	// clamped to the backend count). Failover never leaves the owner set:
+	// a key's worlds are only ever built on its replicas.
+	Replicas int
+	// VNodes is the virtual-node count per backend on the ring
+	// (0 = DefaultVNodes).
+	VNodes int
+	// Seed is the routing seed for requests that do not override one. It
+	// must match the backends' -seed so the gateway routes a defaulted
+	// request to the world the backend will actually serve.
+	Seed uint64
+	// ProbeInterval / ProbeThreshold tune health-check membership
+	// (0 = package defaults).
+	ProbeInterval  time.Duration
+	ProbeThreshold int
+	// HTTPClient is shared by all backend clients (nil =
+	// http.DefaultClient). It must not impose a global timeout shorter
+	// than a cold offline build.
+	HTTPClient *http.Client
+}
+
+// backendCounters is one backend's routing ledger (atomics).
+type backendCounters struct {
+	requests int64
+	failures int64
+}
+
+// Router routes v1 selection traffic across a fixed backend fleet: each
+// (task, seed) world hashes to a stable replica owner set on a
+// consistent-hash ring, batch requests scatter across the world's live
+// owners and gather back in request order, and a sub-request that hits a
+// dead or failing backend fails over to the next replica. Router
+// implements api.API, so the gateway serves the exact v1 contract of a
+// single backend — clients cannot tell the difference (except for the
+// per-target "backend" field reporting who served them).
+type Router struct {
+	ring    *Ring
+	members *Membership
+	clients map[string]*api.Client
+	opts    RouterOptions
+
+	counters  map[string]*backendCounters
+	failovers int64 // atomic
+}
+
+// NewRouter builds a router over a fixed backend set. Start begins health
+// probing; until then every backend is optimistically alive.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	if opts.Replicas <= 0 {
+		opts.Replicas = DefaultReplicas
+	}
+	if opts.Replicas > len(opts.Backends) {
+		opts.Replicas = len(opts.Backends)
+	}
+	ring, err := NewRing(opts.Backends, opts.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		ring:     ring,
+		clients:  make(map[string]*api.Client, len(opts.Backends)),
+		counters: make(map[string]*backendCounters, len(opts.Backends)),
+		opts:     opts,
+	}
+	for _, b := range opts.Backends {
+		r.clients[b] = api.NewClient(b, opts.HTTPClient)
+		r.counters[b] = &backendCounters{}
+	}
+	r.members, err = NewMembership(MembershipOptions{
+		Nodes:     opts.Backends,
+		Interval:  opts.ProbeInterval,
+		Threshold: opts.ProbeThreshold,
+		Probe: func(ctx context.Context, node string) (string, error) {
+			h, err := r.clients[node].Healthz(ctx)
+			if err != nil {
+				return "", err
+			}
+			return h.Instance, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Start launches health probing until ctx is canceled or Close is called.
+func (r *Router) Start(ctx context.Context) { r.members.Start(ctx) }
+
+// Close stops health probing.
+func (r *Router) Close() { r.members.Close() }
+
+// Membership exposes the health tracker (for readiness gates and tests).
+func (r *Router) Membership() *Membership { return r.members }
+
+// Owners returns the replica owner set for one world, in ring priority
+// order — the routing decision as a pure function, for tests and ops.
+func (r *Router) Owners(task string, seed uint64) []string {
+	return r.ring.Owners(RouteKey(task, seed), r.opts.Replicas)
+}
+
+// routeSeed resolves the seed a request routes by.
+func (r *Router) routeSeed(req *api.SelectRequest) uint64 {
+	if req.Seed != nil {
+		return *req.Seed
+	}
+	return r.opts.Seed
+}
+
+// liveFirst reorders an owner set so alive backends come first, keeping
+// ring priority order within each class, and reports how many lead the
+// list. Scatter spreads work over the alive prefix only (a known-down
+// backend must not cost every batch an inline failover), while failover
+// still walks the whole list: probe state can be stale, and trying a
+// "dead" owner last is the only way a recovered backend gets traffic
+// before its next probe. A fully-dead owner set is returned as-is with
+// alive = len(owners), for the same reason.
+func (r *Router) liveFirst(owners []string) (ordered []string, alive int) {
+	ordered = make([]string, 0, len(owners))
+	for _, o := range owners {
+		if r.members.Alive(o) {
+			ordered = append(ordered, o)
+		}
+	}
+	alive = len(ordered)
+	if alive == 0 {
+		return owners, len(owners)
+	}
+	for _, o := range owners {
+		if !r.members.Alive(o) {
+			ordered = append(ordered, o)
+		}
+	}
+	return ordered, alive
+}
+
+// retryable reports whether a backend failure may succeed on another
+// replica. Deterministic request rejections (bad request, unknown
+// task/target, seed policy) fail identically everywhere; a cancellation
+// is the caller's own. Everything else — connection errors, 5xx —
+// is worth a failover.
+func retryable(err error) bool {
+	return !errors.Is(err, api.ErrBadRequest) &&
+		!errors.Is(err, api.ErrUnknownTask) &&
+		!errors.Is(err, api.ErrUnknownTarget) &&
+		!errors.Is(err, api.ErrSeedRejected) &&
+		!errors.Is(err, api.ErrCanceled)
+}
+
+// forward sends one sub-request down a candidate list, failing over on
+// retryable errors. It returns the first success — the serving backend's
+// node URL plus its self-reported instance id — or the terminal error.
+func (r *Router) forward(ctx context.Context, candidates []string, send func(ctx context.Context, c *api.Client) error) (node, instance string, err error) {
+	var lastErr error
+	for attempt, node := range candidates {
+		if attempt > 0 {
+			atomic.AddInt64(&r.failovers, 1)
+		}
+		atomic.AddInt64(&r.counters[node].requests, 1)
+		var instance string
+		err := send(api.WithInstanceCapture(ctx, &instance), r.clients[node])
+		if err == nil {
+			return node, instance, nil
+		}
+		if !retryable(err) || ctx.Err() != nil {
+			// A deterministic rejection or the caller's own cancellation
+			// is not a backend failure; the counter tracks backend health.
+			return "", "", err
+		}
+		atomic.AddInt64(&r.counters[node].failures, 1)
+		// Feed the failure into membership so the request path and the
+		// probe loop converge on one health view — but only transport
+		// failures: a decoded 5xx body came from a live, reachable
+		// process (one broken target must not flap the whole node down).
+		var ue *url.Error
+		if errors.As(err, &ue) {
+			r.members.ReportFailure(node)
+		}
+		lastErr = err
+	}
+	return "", "", fmt.Errorf("%w: all %d candidate backends failed, last: %v", api.ErrUnavailable, len(candidates), lastErr)
+}
+
+// subResult is one scattered sub-request's outcome.
+type subResult struct {
+	indices  []int // original target indices, in sub-request order
+	resp     *api.SelectResponse
+	node     string // serving backend URL (unique by ring construction)
+	instance string // its self-reported instance id (may be empty)
+	err      error
+}
+
+// Select implements api.API: it scatters the request's targets across the
+// world's live replica owners, forwards each slice concurrently through
+// the backend clients (with failover), and gathers the per-target results
+// back in request order. A single-target request keeps its RPC semantics:
+// its failure is the request's failure with the backend's status.
+func (r *Router) Select(ctx context.Context, req *api.SelectRequest) (*api.SelectResponse, error) {
+	if req == nil {
+		return nil, fmt.Errorf("%w: nil request", api.ErrBadRequest)
+	}
+	if req.Task == "" {
+		return nil, fmt.Errorf("%w: missing task", api.ErrBadRequest)
+	}
+	if len(req.Targets) == 0 {
+		return nil, fmt.Errorf("%w: no targets", api.ErrBadRequest)
+	}
+	seed := r.routeSeed(req)
+	owners, alive := r.liveFirst(r.Owners(req.Task, seed))
+
+	// Scatter: slice the batch across the world's live owners. Every
+	// owner holds (or will build) the same world, so spreading a batch
+	// over the replica set parallelizes the online phase across machines
+	// without costing any extra offline builds. Target order inside each
+	// slice, and slice-to-owner assignment, are deterministic.
+	fanout := alive
+	if fanout > len(req.Targets) {
+		fanout = len(req.Targets)
+	}
+	groups := make([]subResult, fanout)
+	for i := range req.Targets {
+		g := &groups[i%fanout]
+		g.indices = append(g.indices, i)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for gi := range groups {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			g := &groups[gi]
+			sub := *req
+			sub.Targets = make([]string, len(g.indices))
+			for j, idx := range g.indices {
+				sub.Targets[j] = req.Targets[idx]
+			}
+			// Failover order: this slice's assigned owner first, then the
+			// rest of the owner set in priority order.
+			candidates := append([]string{owners[gi]}, deleteAt(owners, gi)...)
+			g.node, g.instance, g.err = r.forward(ctx, candidates, func(ctx context.Context, c *api.Client) error {
+				resp, err := c.Select(ctx, &sub)
+				g.resp = resp
+				return err
+			})
+		}(gi)
+	}
+	wg.Wait()
+
+	// Gather, preserving request order and per-target error codes.
+	out := &api.SelectResponse{
+		APIVersion: api.Version,
+		Task:       req.Task,
+		Seed:       seed,
+		Results:    make([]api.TargetResult, len(req.Targets)),
+	}
+	builds := make(map[string]int, fanout) // per distinct backend, not per slice
+	for gi := range groups {
+		g := &groups[gi]
+		// Never trust a remote process's response shape: a skewed or
+		// broken backend answering 200 with the wrong result count must
+		// degrade to a per-target error, not an index panic.
+		if g.err == nil && (g.resp == nil || len(g.resp.Results) != len(g.indices)) {
+			got := 0
+			if g.resp != nil {
+				got = len(g.resp.Results)
+			}
+			g.err = fmt.Errorf("backend %q returned %d results for %d targets", g.node, got, len(g.indices))
+		}
+		if g.err != nil {
+			if len(req.Targets) == 1 {
+				// RPC semantics pass through the gateway untouched.
+				return nil, g.err
+			}
+			msg, code := g.err.Error(), api.Code(g.err)
+			for _, idx := range g.indices {
+				out.Results[idx] = api.TargetResult{Target: req.Targets[idx], Error: msg, ErrorCode: code}
+				out.Failed++
+			}
+			continue
+		}
+		if out.Strategy == "" {
+			out.Strategy = g.resp.Strategy
+		}
+		for j, idx := range g.indices {
+			tr := g.resp.Results[j]
+			if tr.Backend == "" {
+				// Prefer the self-reported instance id; fall back to the
+				// node URL so the serving backend is always identifiable.
+				if tr.Backend = g.instance; tr.Backend == "" {
+					tr.Backend = g.node
+				}
+			}
+			out.Results[idx] = tr
+			if tr.Error != "" {
+				out.Failed++
+			}
+		}
+		out.TotalEpochs += g.resp.TotalEpochs
+		// Dedupe the lifetime counter by node URL — unique by ring
+		// construction, unlike instance ids a fleet may misconfigure to
+		// collide (e.g. every backend defaulting to "[::]:8080").
+		builds[g.node] = g.resp.OfflineBuilds
+	}
+	if out.Strategy == "" {
+		// Every slice failed; render the strategy the backends would have.
+		if strat, err := core.ParseStrategy(req.Strategy); err == nil {
+			out.Strategy = string(strat)
+		} else {
+			out.Strategy = req.Strategy
+		}
+	}
+	for _, b := range builds {
+		out.OfflineBuilds += b
+	}
+	out.WallMillis = time.Since(start).Milliseconds()
+	return out, nil
+}
+
+// deleteAt returns a copy of s without the element at i.
+func deleteAt(s []string, i int) []string {
+	out := make([]string, 0, len(s)-1)
+	out = append(out, s[:i]...)
+	return append(out, s[i+1:]...)
+}
+
+// Targets implements api.API by forwarding to the task's owner set with
+// failover: the catalog is deterministic in (task, seed), so any owner
+// answers identically.
+func (r *Router) Targets(ctx context.Context, task string) (*api.TargetsResponse, error) {
+	if task == "" {
+		return nil, fmt.Errorf("%w: missing task", api.ErrBadRequest)
+	}
+	var resp *api.TargetsResponse
+	owners, _ := r.liveFirst(r.Owners(task, r.opts.Seed))
+	_, _, err := r.forward(ctx, owners, func(ctx context.Context, c *api.Client) error {
+		var err error
+		resp, err = c.Targets(ctx, task)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// Stats implements api.API: fleet-wide sums at the top level plus the
+// gateway's ring shape, routing counters and per-backend detail.
+func (r *Router) Stats(ctx context.Context) (*api.Stats, error) {
+	snap := r.members.Snapshot()
+	g := &api.GatewayStats{
+		Backends:     len(r.opts.Backends),
+		VNodes:       r.ring.VNodes(),
+		Replicas:     r.opts.Replicas,
+		Failovers:    atomic.LoadInt64(&r.failovers),
+		BackendStats: make([]api.BackendStats, len(snap)),
+	}
+	out := &api.Stats{APIVersion: api.Version, Gateway: g}
+
+	// Fetch backend stats concurrently and under a deadline; a dead or
+	// wedged backend contributes its routing counters but no stats
+	// document — a monitoring scrape must never hang on one slow node.
+	ctx, cancel := context.WithTimeout(ctx, statsTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, ns := range snap {
+		bs := &g.BackendStats[i]
+		bs.URL = ns.Node
+		bs.Instance = ns.Instance
+		bs.Alive = ns.Alive
+		bs.DownEvents = ns.DownEvents
+		bs.Requests = atomic.LoadInt64(&r.counters[ns.Node].requests)
+		bs.Failures = atomic.LoadInt64(&r.counters[ns.Node].failures)
+		if ns.Alive {
+			g.Alive++
+			wg.Add(1)
+			go func(node string, bs *api.BackendStats) {
+				defer wg.Done()
+				if st, err := r.clients[node].Stats(ctx); err == nil {
+					bs.Stats = st
+				}
+			}(ns.Node, bs)
+		}
+	}
+	wg.Wait()
+	for i := range g.BackendStats {
+		st := g.BackendStats[i].Stats
+		if st == nil {
+			continue
+		}
+		out.OfflineBuilds += st.OfflineBuilds
+		out.TotalEpochs += st.TotalEpochs
+		out.TrainEpochs += st.TrainEpochs
+		out.Cache.Capacity += st.Cache.Capacity
+		out.Cache.Resident += st.Cache.Resident
+		out.Cache.InUse += st.Cache.InUse
+		out.Cache.Hits += st.Cache.Hits
+		out.Cache.Misses += st.Cache.Misses
+		out.Cache.Evictions += st.Cache.Evictions
+		out.Cache.Builds += st.Cache.Builds
+		out.Cache.BuildFailures += st.Cache.BuildFailures
+		out.Cache.BuildMillis += st.Cache.BuildMillis
+		if st.PersistDegraded && !out.PersistDegraded {
+			out.PersistDegraded = true
+			out.PersistError = st.PersistError
+		}
+	}
+	return out, nil
+}
