@@ -5,7 +5,7 @@ BENCH_JSON ?= BENCH_service.json
 COVER_PROFILE ?= coverage.out
 COVER_FLOOR ?= 70.0
 
-.PHONY: verify race bench bench-json fmt vet build test run-server run-gateway cover cover-check fuzz
+.PHONY: verify race bench bench-json bench-smoke bench-baseline fmt vet build test run-server run-gateway cover cover-check fuzz
 
 # verify is the tier-1 gate: exactly what CI and the roadmap run.
 verify: build test
@@ -40,6 +40,7 @@ cover-check:
 fuzz:
 	$(GO) test -fuzz=FuzzSlugInjective -fuzztime=10s -run='^$$' ./internal/store
 	$(GO) test -fuzz=FuzzSlugPairwise -fuzztime=10s -run='^$$' ./internal/store
+	$(GO) test -fuzz=FuzzMulFrameMatchesMulVec -fuzztime=10s -run='^$$' ./internal/numeric
 
 # bench smoke-runs every benchmark once; use `go test -bench=. -benchmem`
 # for real measurements.
@@ -47,10 +48,22 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # bench-json emits the serving layer's perf trajectory (cold vs warm-start
-# build time, select latency, cache hit rate) as one JSON document; CI
-# uploads it as an artifact per commit.
+# build time, offline-build + epoch throughput, select latency, cache hit
+# rate) as one JSON document; CI uploads it as an artifact per commit.
 bench-json:
 	$(GO) run ./cmd/benchservice -out $(BENCH_JSON)
+
+# bench-smoke is the perf regression gate: re-measures the training hot
+# paths and fails if they regress >20% against BENCH_baseline.json
+# (calibration-scaled so slower machines don't trip it) or if the
+# steady-state epoch allocates at all.
+bench-smoke:
+	$(GO) run ./cmd/benchsmoke -baseline BENCH_baseline.json
+
+# bench-baseline re-records the checked-in baseline; run on an intended
+# perf change and commit the result.
+bench-baseline:
+	$(GO) run ./cmd/benchsmoke -baseline BENCH_baseline.json -write
 
 # run-server boots the v1 selection API on :8080; override with e.g.
 # `make run-server SERVER_FLAGS='-addr :9090 -store /tmp/twophase-store'`.

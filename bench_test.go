@@ -178,6 +178,20 @@ func BenchmarkSuccessiveHalvingNLP(b *testing.B) {
 
 // --- component micro-benchmarks ---
 
+// BenchmarkBuildFramework measures the full offline phase (world
+// synthesis, performance matrix, clustering, assembly) at the bench-suite
+// split sizes — the number the flat-buffer numeric core and the batched
+// trainer kernels exist to shrink.
+func BenchmarkBuildFramework(b *testing.B) {
+	sizes := datahub.Sizes{Train: 60, Val: 40, Test: 48}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Build(core.Options{Task: datahub.TaskNLP, Seed: 7, Sizes: sizes}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkOfflineMatrixBuild(b *testing.B) {
 	// The full offline phase: 40 models x 24 benchmarks x 5 epochs.
 	w := synth.NewWorld(7)

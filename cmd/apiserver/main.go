@@ -32,6 +32,8 @@
 //	-instance ID         instance id stamped on responses as X-Instance-Id
 //	                     (default: the bound listen address); the sharding
 //	                     gateway uses it to report and assert routing
+//	-pprof-addr ADDR     serve net/http/pprof on a dedicated listener
+//	                     (e.g. 127.0.0.1:6060; empty = disabled)
 //	-train/-val/-test N  split sizes (0 = paper defaults; set all or none)
 //	-shutdown-grace D    drain window after SIGTERM/SIGINT (default 15s)
 //
@@ -69,6 +71,7 @@ type config struct {
 	warmSpec      string
 	seedPolicy    string
 	instance      string
+	pprofAddr     string
 	sizes         datahub.Sizes
 	shutdownGrace time.Duration
 }
@@ -84,6 +87,7 @@ func main() {
 	flag.StringVar(&cfg.warmSpec, "warm", "", `worlds to pre-build before reporting ready, e.g. "nlp,cv:7"`)
 	flag.StringVar(&cfg.seedPolicy, "seed-policy", "any", "per-request seed admission: any, fixed, allow=..., max=N")
 	flag.StringVar(&cfg.instance, "instance", "", "instance id for the X-Instance-Id header (default: bound address)")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.IntVar(&cfg.sizes.Train, "train", 0, "train split size (0 = default)")
 	flag.IntVar(&cfg.sizes.Val, "val", 0, "val split size (0 = default)")
 	flag.IntVar(&cfg.sizes.Test, "test", 0, "test split size (0 = default)")
@@ -106,6 +110,11 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	zero := datahub.Sizes{}
 	if cfg.sizes != zero && (cfg.sizes.Train <= 0 || cfg.sizes.Val <= 0 || cfg.sizes.Test <= 0) {
 		return fmt.Errorf("-train, -val and -test must be set together (got %+v)", cfg.sizes)
+	}
+	if pprofAddr, err := api.StartPprof(cfg.pprofAddr); err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	} else if pprofAddr != "" {
+		log.Printf("apiserver: pprof on http://%s/debug/pprof/", pprofAddr)
 	}
 	seeds, err := service.ParseSeedPolicy(cfg.seedPolicy)
 	if err != nil {

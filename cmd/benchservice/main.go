@@ -32,7 +32,9 @@ import (
 
 	"twophase/internal/core"
 	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
 	"twophase/internal/service"
+	"twophase/internal/trainer"
 )
 
 type document struct {
@@ -52,6 +54,17 @@ type document struct {
 	SelectMillisP50 float64 `json:"select_ms_p50"`
 	SelectMillisMax float64 `json:"select_ms_max"`
 	SelectEpochs    float64 `json:"select_epochs_avg"`
+
+	// Offline-build and epoch-throughput trajectory of the flat-buffer
+	// numeric core. CandidateRunMicros is one full fine-tuning run
+	// (NewRun against the warm feature cache + the full epoch budget) of
+	// one (model, target) pair at the document's split sizes;
+	// EpochsPerSec is its per-epoch throughput. Note this is the
+	// *amortized candidate* epoch — the steady-state kernel epoch is
+	// benchsmoke's train_epoch metric, measured without run setup.
+	CandidateRunMicros float64 `json:"candidate_run_us"`
+	EpochsPerSec       float64 `json:"epochs_per_sec"`
+	FeatureExtractions int64   `json:"feature_extractions"`
 
 	CacheHits    int64   `json:"cache_hits"`
 	CacheMisses  int64   `json:"cache_misses"`
@@ -142,6 +155,24 @@ func run(out, task string, seed uint64, selects int, sizes datahub.Sizes) error 
 	}
 	cache := warm.CacheStats()
 
+	// Epoch throughput: one candidate fine-tuning run (head init +
+	// cached feature lookup + full epoch budget) on the first repository
+	// model and target, after a warmup run primes the shared feature
+	// cache the way any earlier proxy score or strategy round would.
+	model := fw.Repo.Models()[0]
+	targetDS := targets[0]
+	if _, err := trainer.FineTune(model, targetDS, fw.HP, fw.Seed, "benchservice"); err != nil {
+		return err
+	}
+	const epochRuns = 8
+	epochStart := time.Now()
+	for i := 0; i < epochRuns; i++ {
+		if _, err := trainer.FineTune(model, targetDS, fw.HP, fw.Seed, "benchservice"); err != nil {
+			return err
+		}
+	}
+	candidateMicros := float64(time.Since(epochStart).Microseconds()) / epochRuns
+
 	doc := document{
 		Task:            task,
 		Seed:            seed,
@@ -156,8 +187,15 @@ func run(out, task string, seed uint64, selects int, sizes datahub.Sizes) error 
 		SelectMillisP50: latencies[len(latencies)/2],
 		SelectMillisMax: latencies[len(latencies)-1],
 		SelectEpochs:    epochs / float64(selects),
-		CacheHits:       cache.Hits,
-		CacheMisses:     cache.Misses,
+
+		CandidateRunMicros: candidateMicros,
+		FeatureExtractions: modelhub.Extractions(),
+
+		CacheHits:   cache.Hits,
+		CacheMisses: cache.Misses,
+	}
+	if candidateMicros > 0 {
+		doc.EpochsPerSec = 1e6 * float64(fw.HP.Epochs) / candidateMicros
 	}
 	if warmMillis > 0 {
 		doc.WarmSpeedup = coldMillis / warmMillis

@@ -1,0 +1,118 @@
+// Command benchsmoke is the benchstat-style perf gate of CI: it re-runs
+// the training hot-path benchmarks (internal/benchkit) and fails if they
+// regress more than the tolerance against the checked-in baseline
+// (BENCH_baseline.json), or if the steady-state epoch allocates at all.
+//
+// Raw ns/op is machine-dependent, so the gate first scales the baseline
+// by a calibration ratio: a fixed serial-dot-product kernel measured both
+// at baseline time and now. A slower CI machine raises the thresholds
+// proportionally instead of failing spuriously.
+//
+// Usage:
+//
+//	benchsmoke -baseline BENCH_baseline.json          # gate (CI)
+//	benchsmoke -baseline BENCH_baseline.json -write   # record a new baseline
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"twophase/internal/benchkit"
+)
+
+type baseline struct {
+	GoVersion   string               `json:"go_version"`
+	CPU         string               `json:"cpu"`
+	Tolerance   float64              `json:"tolerance"`
+	Calibration benchkit.Measurement `json:"calibration"`
+	TrainEpoch  benchkit.Measurement `json:"train_epoch"`
+	Candidate   benchkit.Measurement `json:"candidate_epoch"`
+}
+
+func main() {
+	var (
+		path  = flag.String("baseline", "BENCH_baseline.json", "baseline JSON path")
+		write = flag.Bool("write", false, "record the current measurements as the new baseline")
+	)
+	flag.Parse()
+	if err := run(*path, *write); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsmoke:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, write bool) error {
+	calib := benchkit.Calibration()
+	epoch, err := benchkit.TrainEpoch()
+	if err != nil {
+		return err
+	}
+	cand, err := benchkit.CandidateRun()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchsmoke: calibration %.0fns, train epoch %.0fns/op (%d allocs), candidate epoch %.0fns/op\n",
+		calib.NsPerOp, epoch.NsPerOp, epoch.AllocsPerOp, cand.NsPerOp)
+
+	if write {
+		b := baseline{
+			GoVersion:   runtime.Version(),
+			CPU:         runtime.GOARCH,
+			Tolerance:   0.20,
+			Calibration: calib,
+			TrainEpoch:  epoch,
+			Candidate:   cand,
+		}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Println("benchsmoke: baseline written to", path)
+		return nil
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read baseline (record one with -write): %w", err)
+	}
+	var base baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if base.Tolerance <= 0 {
+		base.Tolerance = 0.20
+	}
+	scale := 1.0
+	if base.Calibration.NsPerOp > 0 && calib.NsPerOp > 0 {
+		scale = calib.NsPerOp / base.Calibration.NsPerOp
+	}
+
+	// The -benchmem assertion: steady-state epochs must stay allocation-
+	// free; allocation regressions are machine-independent and get no
+	// tolerance.
+	if epoch.AllocsPerOp > base.TrainEpoch.AllocsPerOp {
+		return fmt.Errorf("TrainEpoch allocates %d/op, baseline %d/op", epoch.AllocsPerOp, base.TrainEpoch.AllocsPerOp)
+	}
+
+	check := func(name string, got, want float64) error {
+		max := want * scale * (1 + base.Tolerance)
+		if got > max {
+			return fmt.Errorf("%s regressed: %.0fns/op > %.0fns/op (baseline %.0f x calibration %.2f x %.2f)",
+				name, got, max, want, scale, 1+base.Tolerance)
+		}
+		fmt.Printf("benchsmoke: %s ok: %.0fns/op <= %.0fns/op\n", name, got, max)
+		return nil
+	}
+	if err := check("BenchmarkTrainEpoch", epoch.NsPerOp, base.TrainEpoch.NsPerOp); err != nil {
+		return err
+	}
+	return check("BenchmarkCandidateRun(per epoch)", cand.NsPerOp, base.Candidate.NsPerOp)
+}

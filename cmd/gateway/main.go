@@ -31,6 +31,8 @@
 //	-probe-failures K    consecutive failures that mark a backend down
 //	                     (default 2)
 //	-instance ID         this gateway's X-Instance-Id (default "gateway")
+//	-pprof-addr ADDR     serve net/http/pprof on a dedicated listener
+//	                     (e.g. 127.0.0.1:6061; empty = disabled)
 //	-shutdown-grace D    drain window after SIGTERM/SIGINT (default 15s)
 package main
 
@@ -59,6 +61,7 @@ type config struct {
 	probeInterval time.Duration
 	probeFailures int
 	instance      string
+	pprofAddr     string
 	shutdownGrace time.Duration
 }
 
@@ -72,6 +75,7 @@ func main() {
 	flag.DurationVar(&cfg.probeInterval, "probe-interval", shard.DefaultProbeInterval, "health-check period")
 	flag.IntVar(&cfg.probeFailures, "probe-failures", shard.DefaultProbeThreshold, "consecutive probe failures that mark a backend down")
 	flag.StringVar(&cfg.instance, "instance", "gateway", "this gateway's X-Instance-Id")
+	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 15*time.Second, "drain window on SIGTERM/SIGINT")
 	flag.Parse()
 
@@ -110,6 +114,11 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	backends, err := parseBackends(cfg.backends)
 	if err != nil {
 		return err
+	}
+	if pprofAddr, err := api.StartPprof(cfg.pprofAddr); err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	} else if pprofAddr != "" {
+		log.Printf("gateway: pprof on http://%s/debug/pprof/", pprofAddr)
 	}
 	if cfg.replicas <= 0 || cfg.vnodes <= 0 || cfg.probeFailures <= 0 || cfg.probeInterval <= 0 {
 		return fmt.Errorf("-replicas, -vnodes, -probe-interval and -probe-failures must be positive")

@@ -1,0 +1,36 @@
+package api
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartPprof serves the net/http/pprof endpoints (/debug/pprof/...) on a
+// dedicated listener and returns its bound address. The profiler gets its
+// own mux and port — never the public API mux — so production deployments
+// can firewall it separately from traffic; an empty addr disables it and
+// returns "". The goroutine serves until the process exits.
+//
+// Hot-path claims about the numeric core are checkable in prod with e.g.
+//
+//	go tool pprof http://HOST:PPROF_PORT/debug/pprof/profile?seconds=30
+func StartPprof(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln) //nolint:errcheck // serves until process exit
+	return ln.Addr().String(), nil
+}

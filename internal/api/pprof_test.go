@@ -1,0 +1,40 @@
+package api
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestStartPprofDisabled(t *testing.T) {
+	addr, err := StartPprof("")
+	if err != nil || addr != "" {
+		t.Fatalf("disabled pprof: addr %q err %v", addr, err)
+	}
+}
+
+func TestStartPprofServesIndex(t *testing.T) {
+	addr, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	if len(body) == 0 {
+		t.Fatal("empty pprof index")
+	}
+}
+
+func TestStartPprofBadAddr(t *testing.T) {
+	if _, err := StartPprof("256.256.256.256:99999"); err == nil {
+		t.Fatal("expected listen error")
+	}
+}

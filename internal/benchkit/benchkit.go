@@ -1,0 +1,111 @@
+// Package benchkit is the shared harness of the perf-regression smoke:
+// it measures the training hot paths with testing.Benchmark so the same
+// workload definition serves both `go test -bench` and cmd/benchsmoke's
+// baseline gate. All workloads run at the bench-suite split sizes
+// (60/40/48) so a smoke finishes in seconds.
+package benchkit
+
+import (
+	"fmt"
+	"testing"
+
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+	"twophase/internal/numeric"
+	"twophase/internal/synth"
+	"twophase/internal/trainer"
+)
+
+// Sizes are the split sizes every smoke workload runs at.
+var Sizes = datahub.Sizes{Train: 60, Val: 40, Test: 48}
+
+// Measurement is one benchmarked workload, flattened for JSON.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func fixture() (*modelhub.Model, *datahub.Dataset, trainer.Hyperparams, error) {
+	w := synth.NewWorld(7)
+	cat, err := datahub.NewTaskCatalog(w, datahub.TaskNLP, Sizes)
+	if err != nil {
+		return nil, nil, trainer.Hyperparams{}, err
+	}
+	repo, err := modelhub.NewTaskRepository(w, datahub.TaskNLP)
+	if err != nil {
+		return nil, nil, trainer.Hyperparams{}, err
+	}
+	return repo.Models()[0], cat.Targets()[0], trainer.Default(datahub.TaskNLP), nil
+}
+
+// TrainEpoch benchmarks the steady-state epoch (SGD pass + batched
+// val/test eval) on a warm run. AllocsPerOp must be 0 — the -benchmem
+// assertion of the smoke.
+func TrainEpoch() (Measurement, error) {
+	m, d, hp, err := fixture()
+	if err != nil {
+		return Measurement{}, err
+	}
+	run, err := trainer.NewRun(m, d, hp, 7, "benchkit")
+	if err != nil {
+		return Measurement{}, err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run.TrainEpoch()
+		}
+	})
+	return flatten(res), nil
+}
+
+// CandidateRun benchmarks what one fine-selection candidate costs end to
+// end — NewRun against the warm feature cache plus the full epoch budget
+// — and reports it per epoch (the paper's cost unit).
+func CandidateRun() (Measurement, error) {
+	m, d, hp, err := fixture()
+	if err != nil {
+		return Measurement{}, err
+	}
+	if _, err := trainer.NewRun(m, d, hp, 7, "benchkit"); err != nil { // prime cache
+		return Measurement{}, err
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run, err := trainer.NewRun(m, d, hp, 7, "benchkit")
+			if err != nil {
+				b.Fatal(err)
+			}
+			for e := 0; e < hp.Epochs; e++ {
+				run.TrainEpoch()
+			}
+		}
+	})
+	out := flatten(res)
+	out.NsPerOp /= float64(hp.Epochs)
+	return out, nil
+}
+
+// Calibration benchmarks a fixed latency-bound kernel (a serial dot
+// product, the same dependency chain the training kernels are bound by).
+// The smoke scales the baseline's thresholds by the calibration ratio so
+// the 20%% gate compares machines, not wall clocks.
+func Calibration() Measurement {
+	rng := numeric.NewRNG(7)
+	a, b := rng.NormVec(4096), rng.NormVec(4096)
+	sink := 0.0
+	res := testing.Benchmark(func(tb *testing.B) {
+		for i := 0; i < tb.N; i++ {
+			sink += numeric.Dot(a, b)
+		}
+	})
+	if sink == -1 {
+		fmt.Print("") // keep the accumulator observable
+	}
+	return flatten(res)
+}
+
+func flatten(r testing.BenchmarkResult) Measurement {
+	return Measurement{NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp()}
+}

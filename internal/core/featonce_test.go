@@ -1,0 +1,52 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+)
+
+// TestFeatureExtractionOncePerBuild proves the shared feature-extraction
+// cache end to end: serving one target through every strategy — two-phase
+// (proxy recall + fine selection), SH and BF over the whole repository,
+// and the ensemble extension — extracts each (model, split) exactly once,
+// and a second full pass over all strategies extracts nothing at all.
+// This is the counter-proof analogue of the clustering stage's
+// cluster.Passes() test.
+func TestFeatureExtractionOncePerBuild(t *testing.T) {
+	fw, err := Build(Options{Task: datahub.TaskNLP, Seed: 11, Sizes: datahub.Sizes{Train: 60, Val: 40, Test: 48}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := fw.Catalog.Targets()[0]
+	strategies := []Strategy{StrategyTwoPhase, StrategySH, StrategyBF, StrategyEnsemble}
+
+	runAll := func() {
+		t.Helper()
+		for _, s := range strategies {
+			if _, err := fw.SelectWith(context.Background(), target, SelectOptions{Strategy: s}); err != nil {
+				t.Fatalf("%s: %v", s, err)
+			}
+		}
+	}
+
+	before := modelhub.Extractions()
+	runAll()
+	// SH and BF train every repository model, so every model extracts the
+	// target's train/val/test splits exactly once; two-phase and ensemble
+	// (which run first and share the cache) add nothing on top.
+	want := int64(fw.Repo.Len() * 3)
+	if got := modelhub.Extractions() - before; got != want {
+		t.Fatalf("first multi-strategy pass ran %d extraction passes, want %d (models x 3 splits)", got, want)
+	}
+
+	// Every later round, strategy, and repeated request reuses the cached
+	// frames: zero further extractions.
+	before = modelhub.Extractions()
+	runAll()
+	if got := modelhub.Extractions() - before; got != 0 {
+		t.Fatalf("second multi-strategy pass ran %d extraction passes, want 0", got)
+	}
+}

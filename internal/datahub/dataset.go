@@ -48,9 +48,11 @@ type Sizes struct {
 // full 40x24 + 30x10 offline matrix cheap to rebuild.
 var DefaultSizes = Sizes{Train: 240, Val: 200, Test: 320}
 
-// Split is a labelled set of examples.
+// Split is a labelled set of examples. X is a contiguous row-major frame
+// (one example per row), so training and feature-extraction kernels
+// stream it linearly; X.Row(i) is example i.
 type Split struct {
-	X [][]float64
+	X *numeric.Frame
 	Y []int
 }
 
@@ -121,14 +123,14 @@ func labelProbs(classes int, imbalance float64) []float64 {
 }
 
 func sampleSplit(rng *numeric.RNG, centers *numeric.Matrix, probs []float64, noise float64, n int) Split {
-	s := Split{X: make([][]float64, n), Y: make([]int, n)}
+	s := Split{X: numeric.NewFrame(n, synth.InputDim), Y: make([]int, n)}
 	for i := 0; i < n; i++ {
 		y := sampleLabel(rng, probs)
-		x := numeric.Clone(centers.Row(y))
+		x := s.X.Row(i)
+		copy(x, centers.Row(y))
 		for j := range x {
 			x[j] += rng.Norm() * noise
 		}
-		s.X[i] = x
 		s.Y[i] = y
 	}
 	return s

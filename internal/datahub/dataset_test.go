@@ -28,10 +28,11 @@ func TestGenerateShapes(t *testing.T) {
 	if d.Train.Len() != 50 || d.Val.Len() != 20 || d.Test.Len() != 30 {
 		t.Fatalf("split sizes %d/%d/%d", d.Train.Len(), d.Val.Len(), d.Test.Len())
 	}
-	for _, x := range d.Train.X {
-		if len(x) != synth.InputDim {
-			t.Fatalf("example dim %d", len(x))
-		}
+	if d.Train.X.D != synth.InputDim {
+		t.Fatalf("example dim %d", d.Train.X.D)
+	}
+	if d.Train.X.N != d.Train.Len() {
+		t.Fatalf("frame rows %d, labels %d", d.Train.X.N, d.Train.Len())
 	}
 	for _, y := range d.Train.Y {
 		if y < 0 || y >= 3 {
@@ -53,12 +54,12 @@ func TestGenerateDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range a.Train.X {
+	for i := 0; i < a.Train.X.N; i++ {
 		if a.Train.Y[i] != b.Train.Y[i] {
 			t.Fatal("labels differ across identical worlds")
 		}
-		for j := range a.Train.X[i] {
-			if a.Train.X[i][j] != b.Train.X[i][j] {
+		for j := range a.Train.X.Row(i) {
+			if a.Train.X.At(i, j) != b.Train.X.At(i, j) {
 				t.Fatal("examples differ across identical worlds")
 			}
 		}

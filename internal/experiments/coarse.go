@@ -57,39 +57,41 @@ func Fig1(e *Env) (*Table, error) {
 	return t, nil
 }
 
-// perfVectors extracts the performance vectors of a task's matrix.
+// perfVectors extracts the performance vectors of a task's matrix into
+// one contiguous frame and returns its row views.
 func perfVectors(e *Env, task string) ([]string, [][]float64, error) {
 	fw, err := e.Framework(task)
 	if err != nil {
 		return nil, nil, err
 	}
 	names := fw.Matrix.Models
-	vecs := make([][]float64, len(names))
+	vecs := numeric.NewFrame(len(names), len(fw.Matrix.Datasets))
 	for i, n := range names {
 		v, err := fw.Matrix.Vector(n)
 		if err != nil {
 			return nil, nil, err
 		}
-		vecs[i] = v
+		copy(vecs.Row(i), v)
 	}
-	return names, vecs, nil
+	return names, vecs.Rows2D(), nil
 }
 
-// cardVectors embeds every model card.
+// cardVectors embeds every model card into one frame and returns its row
+// views.
 func cardVectors(e *Env, task string) ([][]float64, error) {
 	fw, err := e.Framework(task)
 	if err != nil {
 		return nil, err
 	}
-	var vecs [][]float64
+	cards := make([]string, 0, len(fw.Matrix.Models))
 	for _, name := range fw.Matrix.Models {
 		m, err := fw.Repo.Get(name)
 		if err != nil {
 			return nil, err
 		}
-		vecs = append(vecs, textsim.Embed(m.Card()))
+		cards = append(cards, m.Card())
 	}
-	return vecs, nil
+	return textsim.EmbedAll(cards).Rows2D(), nil
 }
 
 // Table1 reproduces Table I: performance-based vs text-based similarity

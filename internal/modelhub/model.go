@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"twophase/internal/numeric"
 	"twophase/internal/synth"
@@ -61,7 +63,44 @@ type Model struct {
 	head     *numeric.Matrix // SourceClasses x FeatureDim: frozen source head
 
 	gain, leak float64
+
+	// Feature-extraction cache: input frame identity -> extracted
+	// features. The extractor is frozen, so a given input frame always
+	// maps to the same features; every selection strategy, candidate run
+	// and round in a framework build shares one read-only extraction per
+	// (model, split) instead of re-extracting it per trainer.Run. Keys
+	// are the *numeric.Frame pointers a Dataset holds for its splits,
+	// which are stable for the dataset's lifetime.
+	featMu    sync.Mutex
+	featCache map[*numeric.Frame]*featEntry
+	featTick  uint64
 }
+
+// featEntry is one cached extraction with its LRU recency stamp. The
+// frame materializes through once, outside the cache mutex, so a cache
+// hit on one split never waits behind another split's in-flight
+// extraction.
+type featEntry struct {
+	once  sync.Once
+	frame *numeric.Frame
+	tick  uint64
+}
+
+// featureCacheCap bounds how many split extractions one model retains —
+// enough for two datasets' train/val/test plus headroom, which covers a
+// full multi-strategy selection on a target while keeping the worst-case
+// resident footprint per model at a few hundred KB.
+const featureCacheCap = 8
+
+// extractions counts full-split feature-extraction passes (cache misses)
+// in this process, mirroring cluster.Passes: tests use it to prove that a
+// framework build extracts each (model, split) exactly once no matter how
+// many strategies and rounds consume it.
+var extractions atomic.Int64
+
+// Extractions reports how many split feature-extraction passes this
+// process has executed so far.
+func Extractions() int64 { return extractions.Load() }
 
 // Materialize builds the frozen weights of a model inside the world.
 // All randomness derives from (world seed, model name), so repeated calls
@@ -144,8 +183,11 @@ func (m *Model) Features(x []float64) []float64 {
 	return out
 }
 
-// FeatureBatch extracts features for every example, reusing nothing from
-// the inputs; the returned matrix is len(xs) x FeatureDim.
+// FeatureBatch extracts features example by example through the
+// single-vector path. It is the historical reference implementation —
+// kept alive so bit-identity tests can compare the batched frame kernels
+// against it — and allocates one row per example; hot paths use
+// FeatureFrame instead.
 func (m *Model) FeatureBatch(xs [][]float64) [][]float64 {
 	out := make([][]float64, len(xs))
 	for i, x := range xs {
@@ -154,13 +196,87 @@ func (m *Model) FeatureBatch(xs [][]float64) [][]float64 {
 	return out
 }
 
+// FeatureFrame extracts features for every row of x through the batched
+// frame kernels, caching the result by input-frame identity. The returned
+// frame is shared and read-only: callers must not write through its rows.
+// Every element is bit-identical to Features of the same row.
+func (m *Model) FeatureFrame(x *numeric.Frame) *numeric.Frame {
+	m.featMu.Lock()
+	m.featTick++
+	e, ok := m.featCache[x]
+	if ok {
+		e.tick = m.featTick
+	} else {
+		if m.featCache == nil {
+			m.featCache = make(map[*numeric.Frame]*featEntry, featureCacheCap)
+		}
+		if len(m.featCache) >= featureCacheCap {
+			var oldest *numeric.Frame
+			var oldestTick uint64
+			for k, prev := range m.featCache {
+				if oldest == nil || prev.tick < oldestTick {
+					oldest, oldestTick = k, prev.tick
+				}
+			}
+			delete(m.featCache, oldest) // holders of the evicted frame keep it alive
+		}
+		e = &featEntry{tick: m.featTick}
+		m.featCache[x] = e
+	}
+	m.featMu.Unlock()
+	// Extraction runs outside the mutex: hits on other splits proceed
+	// while this one materializes, and concurrent requesters of the same
+	// split coalesce on the entry's once.
+	e.once.Do(func() {
+		extractions.Add(1)
+		e.frame = m.extractFrame(x)
+	})
+	return e.frame
+}
+
+// extractFrame is the batched extractor: phi(X) = tanh(gain*Wp(P·X) +
+// leak*Wg(X) + b) computed with contiguous matrix-matrix kernels. Each
+// output element follows exactly the accumulation order of Features, so
+// the two paths agree bit for bit.
+func (m *Model) extractFrame(x *numeric.Frame) *numeric.Frame {
+	n := x.N
+	proj := numeric.NewFrame(n, PrefRank)
+	m.prefDirs.MulFrame(x, proj)
+	out := numeric.NewFrame(n, FeatureDim) // aligned pathway, fused in place below
+	m.wPref.MulFrame(proj, out)
+	generic := numeric.NewFrame(n, FeatureDim)
+	m.wGeneric.MulFrame(x, generic)
+	for i := 0; i < n; i++ {
+		a, g := out.Row(i), generic.Row(i)
+		for k, b := range m.bias {
+			a[k] = tanh(m.gain*a[k] + m.leak*g[k] + b)
+		}
+	}
+	return out
+}
+
 // SourceProbs returns the frozen source head's softmax distribution over
 // the model's upstream label space, given already-extracted features.
+// The caller owns the returned slice; hot loops should use
+// SourceProbsInto or SourceProbsFrame to reuse buffers.
 func (m *Model) SourceProbs(features []float64) []float64 {
-	logits := make([]float64, m.SourceClasses)
-	m.head.MulVec(features, logits)
-	numeric.Softmax(logits, logits)
-	return logits
+	return m.SourceProbsInto(features, make([]float64, m.SourceClasses))
+}
+
+// SourceProbsInto writes the source head's softmax distribution into out
+// (which must have length SourceClasses) and returns it.
+func (m *Model) SourceProbsInto(features, out []float64) []float64 {
+	m.head.MulVec(features, out)
+	numeric.Softmax(out, out)
+	return out
+}
+
+// SourceProbsFrame runs the source head over every feature row at once:
+// out.Row(i) = softmax(head · feats.Row(i)). out must be feats.N x
+// SourceClasses.
+func (m *Model) SourceProbsFrame(feats, out *numeric.Frame) {
+	m.head.MulFrame(feats, out)
+	numeric.SoftmaxRows(out)
 }
 
 // Card renders a synthetic model card: the text stand-in for the

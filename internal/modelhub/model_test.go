@@ -142,7 +142,7 @@ func TestAlignmentDrivesSeparability(t *testing.T) {
 // fisherScore is the ratio of between-class to within-class scatter of the
 // model's features on the dataset's training split.
 func fisherScore(m *Model, d *datahub.Dataset) float64 {
-	feats := m.FeatureBatch(d.Train.X)
+	feats := m.FeatureFrame(d.Train.X).Rows2D()
 	mean := make([]float64, FeatureDim)
 	classMean := map[int][]float64{}
 	classN := map[int]int{}

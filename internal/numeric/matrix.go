@@ -26,16 +26,35 @@ func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
 // Set stores v at (i, j).
 func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
 
-// MulVec computes out = M * x. out must have length Rows and x length Cols.
+// MulVec computes out = M * x. out must have length Rows and x length
+// Cols. Row pairs run with two independent accumulators to hide FMA
+// latency; each output element still accumulates its own dot product in
+// ascending j order (the bit-identity rule — see Frame).
 func (m *Matrix) MulVec(x, out []float64) {
 	if len(x) != m.Cols || len(out) != m.Rows {
 		panic("numeric: MulVec dimension mismatch")
 	}
-	for i := 0; i < m.Rows; i++ {
-		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+	d := m.Cols
+	i := 0
+	for ; i+2 <= m.Rows; i += 2 {
+		r0 := m.Data[i*d : (i+1)*d]
+		r1 := m.Data[(i+1)*d : (i+2)*d]
+		r1 = r1[:len(r0)]
+		xx := x[:len(r0)]
+		var s0, s1 float64
+		for j, w0 := range r0 {
+			v := xx[j]
+			s0 += w0 * v
+			s1 += r1[j] * v
+		}
+		out[i], out[i+1] = s0, s1
+	}
+	if i < m.Rows {
+		row := m.Data[i*d : (i+1)*d]
+		xx := x[:len(row)]
 		var s float64
 		for j, w := range row {
-			s += w * x[j]
+			s += w * xx[j]
 		}
 		out[i] = s
 	}

@@ -81,7 +81,15 @@ func (r *RNG) NormVec(n int) []float64 {
 
 // Perm returns a uniformly random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
-	p := make([]int, n)
+	return r.PermInto(make([]int, n))
+}
+
+// PermInto fills p with a uniformly random permutation of [0, len(p)),
+// drawing exactly the same stream values as Perm of the same length — it
+// exists so hot loops can reuse one buffer across epochs without
+// perturbing reproducibility.
+func (r *RNG) PermInto(p []int) []int {
+	n := len(p)
 	for i := range p {
 		p[i] = i
 	}

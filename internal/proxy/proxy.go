@@ -44,11 +44,11 @@ func (LEEP) Name() string { return "leep" }
 
 // Score implements Scorer.
 func (LEEP) Score(m *modelhub.Model, d *datahub.Dataset) (float64, error) {
-	xs, ys, err := sample(m, d)
+	feats, ys, err := sample(m, d)
 	if err != nil {
 		return 0, err
 	}
-	theta := sourcePredictions(m, xs)
+	theta := sourcePredictions(m, feats)
 	return leepFromPredictions(theta, ys, d.Classes, m.SourceClasses), nil
 }
 
@@ -71,11 +71,11 @@ func (CalibratedLEEP) Name() string { return "leep-calibrated" }
 
 // Score implements Scorer.
 func (c CalibratedLEEP) Score(m *modelhub.Model, d *datahub.Dataset) (float64, error) {
-	xs, ys, err := sample(m, d)
+	feats, ys, err := sample(m, d)
 	if err != nil {
 		return 0, err
 	}
-	theta := sourcePredictions(m, xs)
+	theta := sourcePredictions(m, feats)
 	real := leepFromPredictions(theta, ys, d.Classes, m.SourceClasses)
 
 	perms := c.Permutations
@@ -95,27 +95,26 @@ func (c CalibratedLEEP) Score(m *modelhub.Model, d *datahub.Dataset) (float64, e
 	return real - null/float64(perms), nil
 }
 
-// sourcePredictions runs the frozen source head over the sampled inputs.
-func sourcePredictions(m *modelhub.Model, xs [][]float64) [][]float64 {
-	theta := make([][]float64, len(xs))
-	for i, x := range xs {
-		theta[i] = m.SourceProbs(m.Features(x))
-	}
+// sourcePredictions runs the frozen source head over already-extracted
+// feature rows in one batched pass, returning one distribution per row.
+func sourcePredictions(m *modelhub.Model, feats *numeric.Frame) *numeric.Frame {
+	theta := numeric.NewFrame(feats.N, m.SourceClasses)
+	m.SourceProbsFrame(feats, theta)
 	return theta
 }
 
 // leepFromPredictions computes the LEEP statistic given the source-head
-// distributions theta and target labels ys.
-func leepFromPredictions(theta [][]float64, ys []int, targetK, sourceK int) float64 {
-	n := len(theta)
+// distributions theta (one row per example) and target labels ys.
+func leepFromPredictions(theta *numeric.Frame, ys []int, targetK, sourceK int) float64 {
+	n := theta.N
 	if n == 0 {
 		return math.Inf(-1)
 	}
 	// joint[y][z] = (1/n) sum_i theta_i[z] * 1{y_i = y}
 	joint := numeric.NewMatrix(targetK, sourceK)
-	for i := range theta {
+	for i := 0; i < n; i++ {
 		row := joint.Row(ys[i])
-		for z, p := range theta[i] {
+		for z, p := range theta.Row(i) {
 			row[z] += p / float64(n)
 		}
 	}
@@ -136,10 +135,10 @@ func leepFromPredictions(theta [][]float64, ys []int, targetK, sourceK int) floa
 	}
 	// LEEP = (1/n) sum_i log( sum_z P(y_i|z) theta_i[z] )
 	var total float64
-	for i := range theta {
+	for i := 0; i < n; i++ {
 		var p float64
 		row := cond.Row(ys[i])
-		for z, t := range theta[i] {
+		for z, t := range theta.Row(i) {
 			p += row[z] * t
 		}
 		if p < 1e-300 {
@@ -160,15 +159,15 @@ func (NCE) Name() string { return "nce" }
 
 // Score implements Scorer.
 func (NCE) Score(m *modelhub.Model, d *datahub.Dataset) (float64, error) {
-	xs, ys, err := sample(m, d)
+	feats, ys, err := sample(m, d)
 	if err != nil {
 		return 0, err
 	}
-	n := len(xs)
+	n := feats.N
+	theta := sourcePredictions(m, feats)
 	joint := numeric.NewMatrix(d.Classes, m.SourceClasses)
-	for i, x := range xs {
-		probs := m.SourceProbs(m.Features(x))
-		z := numeric.ArgMax(probs)
+	for i := 0; i < n; i++ {
+		z := numeric.ArgMax(theta.Row(i))
 		joint.Set(ys[i], z, joint.At(ys[i], z)+1/float64(n))
 	}
 	marginal := make([]float64, m.SourceClasses)
@@ -208,13 +207,9 @@ func (k KNN) k() int {
 
 // Score implements Scorer.
 func (k KNN) Score(m *modelhub.Model, d *datahub.Dataset) (float64, error) {
-	xs, ys, err := sample(m, d)
+	feats, ys, err := sample(m, d)
 	if err != nil {
 		return 0, err
-	}
-	feats := make([][]float64, len(xs))
-	for i, x := range xs {
-		feats[i] = m.Features(x)
 	}
 	kk := k.k()
 	correct := 0
@@ -222,13 +217,14 @@ func (k KNN) Score(m *modelhub.Model, d *datahub.Dataset) (float64, error) {
 		dist  float64
 		label int
 	}
-	for i := range feats {
-		nbs := make([]nb, 0, len(feats)-1)
-		for j := range feats {
+	for i := 0; i < feats.N; i++ {
+		nbs := make([]nb, 0, feats.N-1)
+		fi := feats.Row(i)
+		for j := 0; j < feats.N; j++ {
 			if j == i {
 				continue
 			}
-			nbs = append(nbs, nb{numeric.EuclideanDistance(feats[i], feats[j]), ys[j]})
+			nbs = append(nbs, nb{numeric.EuclideanDistance(fi, feats.Row(j)), ys[j]})
 		}
 		// partial selection of the kk nearest
 		for a := 0; a < kk && a < len(nbs); a++ {
@@ -254,7 +250,7 @@ func (k KNN) Score(m *modelhub.Model, d *datahub.Dataset) (float64, error) {
 			correct++
 		}
 	}
-	return float64(correct) / float64(len(feats)), nil
+	return float64(correct) / float64(feats.N), nil
 }
 
 // Ensemble averages the min-max-normalized scores of several scorers — the
@@ -339,9 +335,12 @@ func Normalize(scores []float64) []float64 {
 	return out
 }
 
-// sample returns up to MaxExamples (x, y) pairs from the dataset's
-// training split, validating task compatibility.
-func sample(m *modelhub.Model, d *datahub.Dataset) ([][]float64, []int, error) {
+// sample returns the model's features for up to MaxExamples examples of
+// the dataset's training split, plus their labels. Extraction goes
+// through the model's shared feature cache over the full split — the
+// same frame every trainer.Run of this (model, dataset) reuses — and the
+// returned frame is a read-only view of its first rows.
+func sample(m *modelhub.Model, d *datahub.Dataset) (*numeric.Frame, []int, error) {
 	if m.Task != d.Task {
 		return nil, nil, fmt.Errorf("proxy: model %q task %q does not match dataset %q task %q", m.Name, m.Task, d.Name, d.Task)
 	}
@@ -352,5 +351,5 @@ func sample(m *modelhub.Model, d *datahub.Dataset) ([][]float64, []int, error) {
 	if n > MaxExamples {
 		n = MaxExamples
 	}
-	return d.Train.X[:n], d.Train.Y[:n], nil
+	return m.FeatureFrame(d.Train.X).Slice(0, n), d.Train.Y[:n], nil
 }

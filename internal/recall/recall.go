@@ -80,7 +80,7 @@ type Result struct {
 type Offline struct {
 	opts   Options
 	names  []string
-	vecs   [][]float64
+	vecs   *numeric.Frame // one performance vector per row, matrix model order
 	avgAcc []float64
 	dist   func(a, b []float64) float64
 
@@ -99,25 +99,26 @@ func PrepareOffline(m *perfmatrix.Matrix, opts Options) (*Offline, error) {
 		return nil, err
 	}
 	dist := cluster.TopKDistance(opts.SimilarityK)
-	clustering := cluster.Agglomerative(vecs, dist, opts.Threshold, 0)
+	clustering := cluster.Agglomerative(vecs.Rows2D(), dist, opts.Threshold, 0)
 	return assembleOffline(opts, names, vecs, avgAcc, dist, clustering), nil
 }
 
 // matrixVectors extracts every model's performance vector and benchmark
-// average from the matrix, in matrix model order.
-func matrixVectors(m *perfmatrix.Matrix) (names []string, vecs [][]float64, avgAcc []float64, err error) {
+// average from the matrix, in matrix model order. Vectors land in one
+// contiguous frame, a row per model.
+func matrixVectors(m *perfmatrix.Matrix) (names []string, vecs *numeric.Frame, avgAcc []float64, err error) {
 	names = m.Models
 	if len(names) == 0 {
 		return nil, nil, nil, fmt.Errorf("recall: empty performance matrix")
 	}
-	vecs = make([][]float64, len(names))
+	vecs = numeric.NewFrame(len(names), len(m.Datasets))
 	avgAcc = make([]float64, len(names))
 	for i, name := range names {
 		v, err := m.Vector(name)
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		vecs[i] = v
+		copy(vecs.Row(i), v)
 		avgAcc[i] = numeric.Mean(v)
 	}
 	return names, vecs, avgAcc, nil
@@ -126,7 +127,7 @@ func matrixVectors(m *perfmatrix.Matrix) (names []string, vecs [][]float64, avgA
 // assembleOffline derives representatives and their deterministic order
 // from a clustering — the shared tail of PrepareOffline and Rehydrate, so
 // a rehydrated Offline is bit-identical to a freshly clustered one.
-func assembleOffline(opts Options, names []string, vecs [][]float64, avgAcc []float64, dist func(a, b []float64) float64, clustering cluster.Clustering) *Offline {
+func assembleOffline(opts Options, names []string, vecs *numeric.Frame, avgAcc []float64, dist func(a, b []float64) float64, clustering cluster.Clustering) *Offline {
 	// Representatives of non-singleton clusters: best benchmark average.
 	reps := make(map[int]string)
 	repIdx := make(map[int]int)
@@ -325,7 +326,7 @@ func (o *Offline) Recall(repo *modelhub.Repository, target *datahub.Dataset, led
 			var sum float64
 			for _, rc := range o.cids {
 				rep := o.repIdx[rc]
-				sim := 1 - o.dist(o.vecs[i], o.vecs[rep])
+				sim := 1 - o.dist(o.vecs.Row(i), o.vecs.Row(rep))
 				if sim < 0 {
 					sim = 0
 				}

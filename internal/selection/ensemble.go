@@ -141,24 +141,24 @@ func EnsembleSelect(ctx context.Context, models []*modelhub.Model, d *datahub.Da
 }
 
 // votingAccuracy averages member probability predictions and scores the
-// argmax against the labels.
-func votingAccuracy(members []*trainer.Run, labels []int, probsOf func(*trainer.Run) [][]float64) float64 {
+// argmax against the labels. Each member contributes one probability
+// frame (an example per row).
+func votingAccuracy(members []*trainer.Run, labels []int, probsOf func(*trainer.Run) *numeric.Frame) float64 {
 	if len(members) == 0 || len(labels) == 0 {
 		return 0
 	}
-	all := make([][][]float64, len(members))
+	all := make([]*numeric.Frame, len(members))
 	for i, m := range members {
 		all[i] = probsOf(m)
 	}
 	correct := 0
-	classes := len(all[0][0])
-	avg := make([]float64, classes)
+	avg := make([]float64, all[0].D)
 	for ex := range labels {
 		for c := range avg {
 			avg[c] = 0
 		}
 		for _, probs := range all {
-			for c, p := range probs[ex] {
+			for c, p := range probs.Row(ex) {
 				avg[c] += p
 			}
 		}

@@ -34,7 +34,7 @@ func CoreDomain(task string) string { return "_core_" + task }
 type World struct {
 	Seed uint64
 
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	basis map[string]*numeric.Matrix
 }
 
@@ -47,13 +47,22 @@ func NewWorld(seed uint64) *World {
 // named domain. The basis is derived deterministically from the world seed
 // and the domain name, and cached.
 func (w *World) DomainBasis(name string) *numeric.Matrix {
+	// Bases are immutable once built and the map is read-mostly (every
+	// model/dataset materialization hits it), so reads take the shared
+	// lock and only a miss upgrades to the exclusive one.
+	w.mu.RLock()
+	b, ok := w.basis[name]
+	w.mu.RUnlock()
+	if ok {
+		return b
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if b, ok := w.basis[name]; ok {
 		return b
 	}
 	rng := numeric.NewNamedRNG(w.Seed, "domain-basis", name)
-	b := numeric.RandomMatrix(rng, DomainRank, InputDim, 1)
+	b = numeric.RandomMatrix(rng, DomainRank, InputDim, 1)
 	numeric.GramSchmidt(b, rng)
 	w.basis[name] = b
 	return b

@@ -10,6 +10,8 @@ import (
 	"hash/fnv"
 	"math"
 	"strings"
+
+	"twophase/internal/numeric"
 )
 
 // Dim is the embedding dimensionality.
@@ -19,7 +21,26 @@ const Dim = 64
 // lowercase alphanumeric runs; each token adds a signed hashed one-hot
 // (the classic "hashing trick" with a sign hash to reduce collisions' bias).
 func Embed(text string) []float64 {
-	v := make([]float64, Dim)
+	return EmbedInto(text, make([]float64, Dim))
+}
+
+// EmbedAll embeds every text into one contiguous frame, a card per row —
+// the flat-buffer form downstream clustering streams without per-card
+// pointer chasing. Row i equals Embed(texts[i]) exactly.
+func EmbedAll(texts []string) *numeric.Frame {
+	f := numeric.NewFrame(len(texts), Dim)
+	for i, text := range texts {
+		EmbedInto(text, f.Row(i))
+	}
+	return f
+}
+
+// EmbedInto writes the embedding of text into v (length Dim) and
+// returns it.
+func EmbedInto(text string, v []float64) []float64 {
+	for i := range v {
+		v[i] = 0
+	}
 	for _, tok := range Tokenize(text) {
 		h := fnv.New64a()
 		_, _ = h.Write([]byte(tok))

@@ -85,12 +85,16 @@ type Run struct {
 	weights *numeric.Matrix // classes x FeatureDim
 	bias    []float64
 
-	featTrain, featVal, featTest [][]float64
+	// Frozen feature frames, shared read-only with the model's
+	// extraction cache — never written through.
+	featTrain, featVal, featTest *numeric.Frame
 	rng                          *numeric.RNG
 	curve                        Curve
 
-	// scratch buffers reused across steps
-	logits, probs []float64
+	// scratch buffers reused across steps and epochs
+	logits, probs        []float64
+	valLogits, tstLogits *numeric.Frame // per-split eval logits
+	perm                 []int          // epoch shuffle order
 }
 
 // NewRun extracts the frozen features once and initializes a fresh head.
@@ -106,21 +110,26 @@ func NewRun(m *modelhub.Model, d *datahub.Dataset, hp Hyperparams, seed uint64, 
 	}
 	classes := d.Classes
 	r := &Run{
-		Model:   m,
-		Dataset: d,
-		HP:      hp,
-		weights: numeric.NewMatrix(classes, modelhub.FeatureDim),
-		bias:    make([]float64, classes),
-		rng:     numeric.NewNamedRNG(seed, "finetune", m.Name, d.Name, salt),
-		logits:  make([]float64, classes),
-		probs:   make([]float64, classes),
+		Model:     m,
+		Dataset:   d,
+		HP:        hp,
+		weights:   numeric.NewMatrix(classes, modelhub.FeatureDim),
+		bias:      make([]float64, classes),
+		rng:       numeric.NewNamedRNG(seed, "finetune", m.Name, d.Name, salt),
+		logits:    make([]float64, classes),
+		probs:     make([]float64, classes),
+		valLogits: numeric.NewFrame(d.Val.Len(), classes),
+		tstLogits: numeric.NewFrame(d.Test.Len(), classes),
+		perm:      make([]int, d.Train.Len()),
 	}
 	for i := range r.weights.Data {
 		r.weights.Data[i] = r.rng.Norm() * 0.01
 	}
-	r.featTrain = m.FeatureBatch(d.Train.X)
-	r.featVal = m.FeatureBatch(d.Val.X)
-	r.featTest = m.FeatureBatch(d.Test.X)
+	// Frozen features come from the model's shared extraction cache:
+	// every run over the same split reuses one contiguous frame.
+	r.featTrain = m.FeatureFrame(d.Train.X)
+	r.featVal = m.FeatureFrame(d.Val.X)
+	r.featTest = m.FeatureFrame(d.Test.X)
 	return r, nil
 }
 
@@ -137,8 +146,8 @@ func (r *Run) Curve() Curve {
 // (the paper plots both), but selection algorithms must only consult
 // validation — tests enforce this separation.
 func (r *Run) TrainEpoch() float64 {
-	n := len(r.featTrain)
-	order := r.rng.Perm(n)
+	n := r.featTrain.N
+	order := r.rng.PermInto(r.perm)
 	for start := 0; start < n; start += r.HP.BatchSize {
 		end := start + r.HP.BatchSize
 		if end > n {
@@ -146,18 +155,21 @@ func (r *Run) TrainEpoch() float64 {
 		}
 		r.stepBatch(order[start:end])
 	}
-	val := r.evaluate(r.featVal, r.Dataset.Val.Y)
-	test := r.evaluate(r.featTest, r.Dataset.Test.Y)
+	val := r.evaluate(r.featVal, r.valLogits, r.Dataset.Val.Y)
+	test := r.evaluate(r.featTest, r.tstLogits, r.Dataset.Test.Y)
 	r.curve.Val = append(r.curve.Val, val)
 	r.curve.Test = append(r.curve.Test, test)
 	return val
 }
 
 // stepBatch applies one cross-entropy SGD update over the given examples.
+// SGD is inherently sequential — the weights an example sees depend on
+// every example before it — so this stays a per-example loop; the wins
+// come from the contiguous feature frame and the reused scratch buffers.
 func (r *Run) stepBatch(idx []int) {
 	lr := r.HP.LearningRate / float64(len(idx))
 	for _, i := range idx {
-		x := r.featTrain[i]
+		x := r.featTrain.Row(i)
 		y := r.Dataset.Train.Y[i]
 		r.weights.MulVec(x, r.logits)
 		for c := range r.logits {
@@ -178,53 +190,44 @@ func (r *Run) stepBatch(idx []int) {
 	}
 }
 
-// evaluate returns classification accuracy of the current head.
-func (r *Run) evaluate(feats [][]float64, ys []int) float64 {
-	if len(feats) == 0 {
+// evaluate returns classification accuracy of the current head, computing
+// all logits in one batched bias-fused kernel over the split's frame.
+// logits is the split's preallocated scratch frame.
+func (r *Run) evaluate(feats, logits *numeric.Frame, ys []int) float64 {
+	if feats.N == 0 {
 		return 0
 	}
+	r.weights.MulFrameBias(feats, r.bias, logits)
 	correct := 0
-	for i, f := range feats {
-		r.weights.MulVec(f, r.logits)
-		for c := range r.logits {
-			r.logits[c] += r.bias[c]
-		}
-		if numeric.ArgMax(r.logits) == ys[i] {
+	for i := range ys {
+		if numeric.ArgMax(logits.Row(i)) == ys[i] {
 			correct++
 		}
 	}
-	return float64(correct) / float64(len(feats))
+	return float64(correct) / float64(feats.N)
 }
 
 // ValAccuracy returns the current validation accuracy without training
 // (useful before the first epoch).
-func (r *Run) ValAccuracy() float64 { return r.evaluate(r.featVal, r.Dataset.Val.Y) }
+func (r *Run) ValAccuracy() float64 { return r.evaluate(r.featVal, r.valLogits, r.Dataset.Val.Y) }
 
 // ValProbs returns the current head's class-probability predictions for
-// every validation example (rows sum to 1). Used by ensemble selection.
-func (r *Run) ValProbs() [][]float64 { return r.probabilities(r.featVal) }
+// every validation example (rows sum to 1), one example per frame row.
+// Used by ensemble selection. The caller owns the returned frame.
+func (r *Run) ValProbs() *numeric.Frame { return r.probabilities(r.featVal) }
 
 // TestProbs returns the current head's class-probability predictions for
-// every test example.
-func (r *Run) TestProbs() [][]float64 { return r.probabilities(r.featTest) }
+// every test example. The caller owns the returned frame.
+func (r *Run) TestProbs() *numeric.Frame { return r.probabilities(r.featTest) }
 
-func (r *Run) probabilities(feats [][]float64) [][]float64 {
-	out := make([][]float64, len(feats))
-	logits := make([]float64, r.Dataset.Classes)
-	for i, f := range feats {
-		r.weights.MulVec(f, logits)
-		for c := range logits {
-			logits[c] += r.bias[c]
-		}
-		probs := make([]float64, len(logits))
-		numeric.Softmax(logits, probs)
-		out[i] = probs
-	}
+func (r *Run) probabilities(feats *numeric.Frame) *numeric.Frame {
+	out := numeric.NewFrame(feats.N, r.Dataset.Classes)
+	r.weights.MulFrameBiasSoftmax(feats, r.bias, out)
 	return out
 }
 
 // TestAccuracy returns the current held-out test accuracy.
-func (r *Run) TestAccuracy() float64 { return r.evaluate(r.featTest, r.Dataset.Test.Y) }
+func (r *Run) TestAccuracy() float64 { return r.evaluate(r.featTest, r.tstLogits, r.Dataset.Test.Y) }
 
 // FineTune trains to the full epoch budget and returns the curve.
 func FineTune(m *modelhub.Model, d *datahub.Dataset, hp Hyperparams, seed uint64, salt string) (Curve, error) {

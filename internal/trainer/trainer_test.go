@@ -5,6 +5,7 @@ import (
 
 	"twophase/internal/datahub"
 	"twophase/internal/modelhub"
+	"twophase/internal/numeric"
 	"twophase/internal/synth"
 )
 
@@ -218,13 +219,13 @@ func TestProbsShapeAndSum(t *testing.T) {
 		t.Fatal(err)
 	}
 	run.TrainEpoch()
-	for _, probs := range [][][]float64{run.ValProbs(), run.TestProbs()} {
-		for _, p := range probs {
-			if len(p) != d.Classes {
-				t.Fatalf("prob width %d", len(p))
-			}
+	for _, probs := range []*numeric.Frame{run.ValProbs(), run.TestProbs()} {
+		if probs.D != d.Classes {
+			t.Fatalf("prob width %d", probs.D)
+		}
+		for i := 0; i < probs.N; i++ {
 			var sum float64
-			for _, v := range p {
+			for _, v := range probs.Row(i) {
 				if v < 0 {
 					t.Fatalf("negative probability %v", v)
 				}
@@ -235,7 +236,7 @@ func TestProbsShapeAndSum(t *testing.T) {
 			}
 		}
 	}
-	if len(run.ValProbs()) != d.Val.Len() || len(run.TestProbs()) != d.Test.Len() {
+	if run.ValProbs().N != d.Val.Len() || run.TestProbs().N != d.Test.Len() {
 		t.Fatal("prob counts do not match splits")
 	}
 }
@@ -251,7 +252,8 @@ func TestProbsConsistentWithAccuracy(t *testing.T) {
 	}
 	probs := run.TestProbs()
 	correct := 0
-	for i, p := range probs {
+	for i := 0; i < probs.N; i++ {
+		p := probs.Row(i)
 		best, bestV := 0, p[0]
 		for c, v := range p {
 			if v > bestV {
@@ -263,7 +265,7 @@ func TestProbsConsistentWithAccuracy(t *testing.T) {
 		}
 	}
 	want := run.TestAccuracy()
-	got := float64(correct) / float64(len(probs))
+	got := float64(correct) / float64(probs.N)
 	if got != want {
 		t.Fatalf("argmax accuracy %v != TestAccuracy %v", got, want)
 	}
