@@ -36,6 +36,13 @@
 //	                     (e.g. 127.0.0.1:6060; empty = disabled)
 //	-train/-val/-test N  split sizes (0 = paper defaults; set all or none)
 //	-shutdown-grace D    drain window after SIGTERM/SIGINT (default 15s)
+//	-rate R              per-client token refill, req/s (0 = no rate
+//	                     limiting); refusals are 429 rate_limited
+//	-burst N             per-client bucket capacity (0 = max(rate, 1))
+//	-inflight N          max concurrently admitted selections
+//	                     (0 = unlimited); excess requests queue
+//	-queue N             max queued requests past the inflight bound;
+//	                     beyond it requests shed as 503 overloaded
 //
 // On SIGTERM or SIGINT the server stops accepting connections and drains
 // in-flight selections for the grace window; selections still running
@@ -55,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	"twophase/internal/admission"
 	"twophase/internal/api"
 	"twophase/internal/core"
 	"twophase/internal/datahub"
@@ -74,6 +82,10 @@ type config struct {
 	pprofAddr     string
 	sizes         datahub.Sizes
 	shutdownGrace time.Duration
+	rate          float64
+	burst         float64
+	inflight      int
+	queue         int
 }
 
 func main() {
@@ -92,6 +104,10 @@ func main() {
 	flag.IntVar(&cfg.sizes.Val, "val", 0, "val split size (0 = default)")
 	flag.IntVar(&cfg.sizes.Test, "test", 0, "test split size (0 = default)")
 	flag.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 15*time.Second, "drain window on SIGTERM/SIGINT")
+	flag.Float64Var(&cfg.rate, "rate", 0, "per-client token refill rate, req/s (0 = no rate limiting)")
+	flag.Float64Var(&cfg.burst, "burst", 0, "per-client bucket capacity (0 = max(rate, 1))")
+	flag.IntVar(&cfg.inflight, "inflight", 0, "max concurrently admitted selections (0 = unlimited)")
+	flag.IntVar(&cfg.queue, "queue", 0, "max queued requests past the inflight bound")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -110,6 +126,9 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	zero := datahub.Sizes{}
 	if cfg.sizes != zero && (cfg.sizes.Train <= 0 || cfg.sizes.Val <= 0 || cfg.sizes.Test <= 0) {
 		return fmt.Errorf("-train, -val and -test must be set together (got %+v)", cfg.sizes)
+	}
+	if cfg.rate < 0 || cfg.burst < 0 || cfg.inflight < 0 || cfg.queue < 0 {
+		return fmt.Errorf("-rate, -burst, -inflight and -queue must be non-negative")
 	}
 	if pprofAddr, err := api.StartPprof(cfg.pprofAddr); err != nil {
 		return fmt.Errorf("pprof listener: %w", err)
@@ -167,9 +186,19 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	if instance == "" {
 		instance = ln.Addr().String()
 	}
+	var ctrl *admission.Controller
+	if cfg.rate > 0 || cfg.inflight > 0 {
+		ctrl = admission.NewController(admission.Options{
+			Rate:        cfg.rate,
+			Burst:       cfg.burst,
+			MaxInflight: cfg.inflight,
+			MaxQueue:    cfg.queue,
+		})
+	}
 	handler := api.NewHandlerWith(api.NewDispatcher(svc, cfg.seed), api.HandlerOptions{
-		Ready:    warmed.Load,
-		Instance: instance,
+		Ready:     warmed.Load,
+		Instance:  instance,
+		Admission: ctrl,
 	})
 	log.Printf("apiserver: serving v1 selection API on %s (instance %s, seed %d, cache-size %d, seed-policy %s)",
 		ln.Addr(), instance, cfg.seed, cfg.cacheSize, seeds)

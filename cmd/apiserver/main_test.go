@@ -163,7 +163,7 @@ func TestWarmupLifecycle(t *testing.T) {
 	// The fixed seed policy holds over the wire: 403 with the sentinel.
 	seed := uint64(7)
 	if _, err := c.Select(context.Background(), &api.SelectRequest{
-		Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}, Seed: &seed,
+		Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}, SelectOptions: api.SelectOptions{Seed: &seed},
 	}); !errors.Is(err, api.ErrSeedRejected) {
 		t.Fatalf("live server seed rejection: %v", err)
 	}

@@ -34,6 +34,21 @@
 //	-pprof-addr ADDR     serve net/http/pprof on a dedicated listener
 //	                     (e.g. 127.0.0.1:6061; empty = disabled)
 //	-shutdown-grace D    drain window after SIGTERM/SIGINT (default 15s)
+//
+// Admission control (all off by default; see internal/admission):
+//
+//	-rate R              per-client token refill, requests/second
+//	                     (0 = no rate limiting); refusals are 429
+//	                     rate_limited with Retry-After
+//	-burst N             per-client bucket capacity (0 = max(rate, 1))
+//	-inflight N          max concurrently admitted selections
+//	                     (0 = unlimited); excess requests queue
+//	-queue N             max queued requests past the inflight bound;
+//	                     beyond it the lowest-priority waiter is shed as
+//	                     503 overloaded with Retry-After
+//	-hedge-pct P         hedge a select sub-request still in flight past
+//	                     the fleet's recent P-th latency percentile by
+//	                     racing the next replica (0 = disabled)
 package main
 
 import (
@@ -48,6 +63,7 @@ import (
 	"syscall"
 	"time"
 
+	"twophase/internal/admission"
 	"twophase/internal/api"
 	"twophase/internal/shard"
 )
@@ -63,6 +79,11 @@ type config struct {
 	instance      string
 	pprofAddr     string
 	shutdownGrace time.Duration
+	rate          float64
+	burst         float64
+	inflight      int
+	queue         int
+	hedgePct      float64
 }
 
 func main() {
@@ -77,6 +98,11 @@ func main() {
 	flag.StringVar(&cfg.instance, "instance", "gateway", "this gateway's X-Instance-Id")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.DurationVar(&cfg.shutdownGrace, "shutdown-grace", 15*time.Second, "drain window on SIGTERM/SIGINT")
+	flag.Float64Var(&cfg.rate, "rate", 0, "per-client token refill rate, req/s (0 = no rate limiting)")
+	flag.Float64Var(&cfg.burst, "burst", 0, "per-client bucket capacity (0 = max(rate, 1))")
+	flag.IntVar(&cfg.inflight, "inflight", 0, "max concurrently admitted selections (0 = unlimited)")
+	flag.IntVar(&cfg.queue, "queue", 0, "max queued requests past the inflight bound")
+	flag.Float64Var(&cfg.hedgePct, "hedge-pct", 0, "hedge select sub-requests past this latency percentile (0 = disabled)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -123,13 +149,17 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	if cfg.replicas <= 0 || cfg.vnodes <= 0 || cfg.probeFailures <= 0 || cfg.probeInterval <= 0 {
 		return fmt.Errorf("-replicas, -vnodes, -probe-interval and -probe-failures must be positive")
 	}
+	if cfg.rate < 0 || cfg.burst < 0 || cfg.inflight < 0 || cfg.queue < 0 || cfg.hedgePct < 0 || cfg.hedgePct > 100 {
+		return fmt.Errorf("-rate, -burst, -inflight and -queue must be non-negative; -hedge-pct must be in [0, 100]")
+	}
 	router, err := shard.NewRouter(shard.RouterOptions{
-		Backends:       backends,
-		Replicas:       cfg.replicas,
-		VNodes:         cfg.vnodes,
-		Seed:           cfg.seed,
-		ProbeInterval:  cfg.probeInterval,
-		ProbeThreshold: cfg.probeFailures,
+		Backends:        backends,
+		Replicas:        cfg.replicas,
+		VNodes:          cfg.vnodes,
+		Seed:            cfg.seed,
+		ProbeInterval:   cfg.probeInterval,
+		ProbeThreshold:  cfg.probeFailures,
+		HedgePercentile: cfg.hedgePct,
 	})
 	if err != nil {
 		return err
@@ -148,9 +178,22 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	// the first probe round lands, membership's optimistic defaults
 	// must not leak out as readiness.
 	members := router.Membership()
+	// Admission guards the gateway's own front door: requests refused here
+	// never reach a backend, so an overload sheds with a typed 429/503
+	// instead of queueing up against the fleet.
+	var ctrl *admission.Controller
+	if cfg.rate > 0 || cfg.inflight > 0 {
+		ctrl = admission.NewController(admission.Options{
+			Rate:        cfg.rate,
+			Burst:       cfg.burst,
+			MaxInflight: cfg.inflight,
+			MaxQueue:    cfg.queue,
+		})
+	}
 	handler := api.NewHandlerWith(router, api.HandlerOptions{
-		Ready:    func() bool { return members.Probed() && members.AliveCount() > 0 },
-		Instance: cfg.instance,
+		Ready:     func() bool { return members.Probed() && members.AliveCount() > 0 },
+		Instance:  cfg.instance,
+		Admission: ctrl,
 	})
 	log.Printf("gateway: routing v1 selection API on %s across %d backends (replicas %d, vnodes %d, seed %d)",
 		ln.Addr(), len(backends), cfg.replicas, cfg.vnodes, cfg.seed)

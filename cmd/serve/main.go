@@ -27,6 +27,10 @@
 //	-cache-size N   max resident frameworks, LRU-evicted beyond (0 = unbounded)
 //	-warm SPEC      pre-build worlds before serving, e.g. "nlp,cv:7"
 //	-seed-policy P  per-request seed admission: any, fixed, allow=..., max=N
+//	-deadline-ms N  anytime deadline per target (0 = none); the response
+//	                reports truncated targets instead of erroring
+//	-max-epochs N   training-epoch budget per target (-1 = unbounded;
+//	                0 is a real zero budget)
 //	-list-targets   print the family's target datasets and exit
 //
 // The process exits nonzero when the request itself fails or when every
@@ -64,6 +68,8 @@ func main() {
 	flag.IntVar(&cfg.cacheSize, "cache-size", 0, "max resident frameworks, LRU-evicted beyond it (0 = unbounded)")
 	flag.StringVar(&cfg.warmSpec, "warm", "", `worlds to pre-build before serving, e.g. "nlp,cv:7"`)
 	flag.StringVar(&cfg.seedPolicy, "seed-policy", "any", "per-request seed admission: any, fixed, allow=..., max=N")
+	flag.Int64Var(&cfg.deadlineMS, "deadline-ms", 0, "anytime deadline per target in ms (0 = none; truncates, never cancels)")
+	flag.IntVar(&cfg.maxEpochs, "max-epochs", -1, "training-epoch budget per target (-1 = unbounded; 0 is a real zero budget)")
 	flag.BoolVar(&cfg.listTargets, "list-targets", false, "list target datasets for the task and exit")
 	flag.Parse()
 	// Only an explicit -seed becomes a per-request override; otherwise a
@@ -97,6 +103,8 @@ type config struct {
 	cacheSize   int
 	warmSpec    string
 	seedPolicy  string
+	deadlineMS  int64
+	maxEpochs   int // -1 = unbounded; >=0 sent as the max_epochs budget
 	listTargets bool
 	sizes       datahub.Sizes // test hook; zero means datahub defaults
 }
@@ -195,10 +203,17 @@ func run(ctx context.Context, w io.Writer, cfg config) error {
 	}
 
 	req := &api.SelectRequest{
-		Task:     cfg.task,
-		Targets:  targets,
-		Strategy: cfg.strategy,
-		Workers:  cfg.workers,
+		Task:    cfg.task,
+		Targets: targets,
+		SelectOptions: api.SelectOptions{
+			Strategy:   cfg.strategy,
+			Workers:    cfg.workers,
+			DeadlineMS: cfg.deadlineMS,
+		},
+	}
+	if cfg.maxEpochs >= 0 {
+		me := cfg.maxEpochs
+		req.MaxEpochs = &me
 	}
 	if cfg.seedSet {
 		seed := cfg.seed

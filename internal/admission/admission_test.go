@@ -1,0 +1,308 @@
+package admission
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTokenBucketRefill(t *testing.T) {
+	b := NewTokenBucket(10, 2) // 10 tok/s, burst 2
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(now); !ok {
+			t.Fatalf("request %d refused with a full bucket", i)
+		}
+	}
+	ok, retry := b.Allow(now)
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry <= 0 || retry > 100*time.Millisecond {
+		t.Fatalf("retry hint %v, want (0, 100ms] for 10 tok/s", retry)
+	}
+	// 100ms refills exactly one token.
+	if ok, _ := b.Allow(now.Add(100 * time.Millisecond)); !ok {
+		t.Fatal("bucket did not refill after 100ms")
+	}
+}
+
+// TestTokenBucketClockSkew: time moving backwards must neither refill the
+// bucket nor drive tokens negative, and the bucket must resume refilling
+// on the new timeline.
+func TestTokenBucketClockSkew(t *testing.T) {
+	b := NewTokenBucket(10, 1)
+	now := time.Unix(1000, 0)
+	if ok, _ := b.Allow(now); !ok {
+		t.Fatal("full bucket refused")
+	}
+	// Clock jumps an hour back: no refill may happen.
+	past := now.Add(-time.Hour)
+	if ok, _ := b.Allow(past); ok {
+		t.Fatal("backwards clock refilled the bucket")
+	}
+	if tok := b.Tokens(); tok < 0 {
+		t.Fatalf("tokens went negative: %v", tok)
+	}
+	// The bucket adopted the new clock: 100ms forward from `past` refills
+	// one token — it must NOT wait to catch up with the old timeline.
+	if ok, _ := b.Allow(past.Add(100 * time.Millisecond)); !ok {
+		t.Fatal("bucket stuck after clock skew")
+	}
+	// Repeated identical timestamps (a stopped clock) never refill.
+	b2 := NewTokenBucket(1000, 1)
+	b2.Allow(now)
+	for i := 0; i < 100; i++ {
+		if ok, _ := b2.Allow(now); ok {
+			t.Fatal("stopped clock refilled the bucket")
+		}
+	}
+}
+
+func TestRateLimitPerClient(t *testing.T) {
+	c := NewController(Options{Rate: 1, Burst: 1})
+	rel, _, err := c.Admit(context.Background(), "alice", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	_, retry, err := c.Admit(context.Background(), "alice", 0)
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("err = %v, want ErrRateLimited", err)
+	}
+	if retry <= 0 {
+		t.Fatalf("rate-limited refusal carries no retry hint: %v", retry)
+	}
+	// Another client has its own bucket.
+	if rel, _, err := c.Admit(context.Background(), "bob", 0); err != nil {
+		t.Fatalf("bob limited by alice's bucket: %v", err)
+	} else {
+		rel()
+	}
+	st := c.Stats()
+	if st.RateLimited != 1 || st.Admitted != 2 || st.Clients != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestShedOrder: at the queue bound the lowest-priority waiter is shed
+// first; an arrival that outranks nobody is shed itself.
+func TestShedOrder(t *testing.T) {
+	c := NewController(Options{MaxInflight: 1, MaxQueue: 2})
+	ctx := context.Background()
+	rel, _, err := c.Admit(ctx, "a", 0) // takes the slot
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		err error
+		rel func()
+	}
+	enqueue := func(priority int) chan outcome {
+		ch := make(chan outcome, 1)
+		go func() {
+			rel, _, err := c.Admit(ctx, "a", priority)
+			ch <- outcome{err, rel}
+		}()
+		// Wait for the waiter to actually be queued.
+		for i := 0; i < 1000; i++ {
+			if c.Stats().QueueLen > 0 && len(ch) == 0 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return ch
+	}
+
+	low := enqueue(1)
+	waitQueueLen(t, c, 1)
+	high := enqueue(5)
+	waitQueueLen(t, c, 2)
+
+	// Queue full. A mid-priority arrival outranks the low waiter: the low
+	// waiter is evicted, the arrival takes its place.
+	mid := enqueue(3)
+	out := <-low
+	if !errors.Is(out.err, ErrShed) {
+		t.Fatalf("low-priority waiter: %v, want ErrShed", out.err)
+	}
+	waitQueueLen(t, c, 2)
+
+	// A zero-priority arrival outranks nobody: shed on the spot.
+	_, retry, err := c.Admit(ctx, "a", 0)
+	if !errors.Is(err, ErrShed) {
+		t.Fatalf("lowest arrival: %v, want ErrShed", err)
+	}
+	if retry <= 0 {
+		t.Fatal("shed refusal carries no retry hint")
+	}
+
+	// Releasing the slot admits the HIGHEST-priority waiter first.
+	rel()
+	out = <-high
+	if out.err != nil {
+		t.Fatalf("high-priority waiter: %v", out.err)
+	}
+	select {
+	case o := <-mid:
+		t.Fatalf("mid admitted before high released: %+v", o)
+	default:
+	}
+	out.rel()
+	out = <-mid
+	if out.err != nil {
+		t.Fatalf("mid-priority waiter: %v", out.err)
+	}
+	out.rel()
+
+	st := c.Stats()
+	if st.Shed != 2 || st.Inflight != 0 || st.QueueLen != 0 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+}
+
+// TestQueueFIFOWithinPriority: equal-priority waiters are admitted in
+// arrival order.
+func TestQueueFIFOWithinPriority(t *testing.T) {
+	c := NewController(Options{MaxInflight: 1, MaxQueue: 4})
+	ctx := context.Background()
+	rel, _, err := c.Admit(ctx, "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rel, _, err := c.Admit(ctx, "a", 7)
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			rel()
+		}(i)
+		waitQueueLen(t, c, i+1)
+	}
+	rel()
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("admission order %v, want FIFO", order)
+		}
+	}
+}
+
+// TestAdmitContextCanceled: a waiter abandoning the queue returns
+// ctx.Err() and leaves the queue clean.
+func TestAdmitContextCanceled(t *testing.T) {
+	c := NewController(Options{MaxInflight: 1, MaxQueue: 4})
+	rel, _, err := c.Admit(context.Background(), "a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Admit(ctx, "a", 0)
+		done <- err
+	}()
+	waitQueueLen(t, c, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	waitQueueLen(t, c, 0)
+	rel()
+	if st := c.Stats(); st.Inflight != 0 {
+		t.Fatalf("inflight leaked: %+v", st)
+	}
+}
+
+// TestAdmissionHammer: many goroutines racing admit/release/cancel at a
+// tiny bound must never overshoot MaxInflight and must leave zero
+// inflight at the end. Run with -race.
+func TestAdmissionHammer(t *testing.T) {
+	const bound = 4
+	c := NewController(Options{MaxInflight: bound, MaxQueue: 8})
+	var cur, peak int64
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(j%5)*time.Millisecond)
+				rel, _, err := c.Admit(ctx, "hammer", i%3)
+				if err == nil {
+					n := atomic.AddInt64(&cur, 1)
+					for {
+						p := atomic.LoadInt64(&peak)
+						if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+							break
+						}
+					}
+					atomic.AddInt64(&cur, -1)
+					rel()
+				} else if !errors.Is(err, ErrShed) && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+					t.Errorf("unexpected admit error: %v", err)
+				}
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if p := atomic.LoadInt64(&peak); p > bound {
+		t.Fatalf("concurrency peaked at %d, bound %d", p, bound)
+	}
+	if st := c.Stats(); st.Inflight != 0 || st.QueueLen != 0 {
+		t.Fatalf("leaked state after hammer: %+v", st)
+	}
+}
+
+func TestWindowPercentile(t *testing.T) {
+	w := NewWindow(100)
+	if _, ok := w.Percentile(99); ok {
+		t.Fatal("empty window reported a percentile")
+	}
+	for i := 1; i <= 100; i++ {
+		w.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if p50, _ := w.Percentile(50); p50 != 50*time.Millisecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	if p99, _ := w.Percentile(99); p99 != 99*time.Millisecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	// The window slides: 50 more large samples shift the percentiles up.
+	for i := 0; i < 50; i++ {
+		w.Observe(time.Second)
+	}
+	if p99, _ := w.Percentile(99); p99 != time.Second {
+		t.Fatalf("p99 after slide = %v", p99)
+	}
+	if w.Len() != 100 {
+		t.Fatalf("window len %d", w.Len())
+	}
+}
+
+func waitQueueLen(t *testing.T, c *Controller, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Stats().QueueLen == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue length never reached %d (stats %+v)", want, c.Stats())
+}

@@ -37,8 +37,8 @@ func TestDispatcherValidation(t *testing.T) {
 		{"missing task", &SelectRequest{Targets: []string{"x"}}},
 		{"no targets", &SelectRequest{Task: datahub.TaskNLP}},
 		{"empty target", &SelectRequest{Task: datahub.TaskNLP, Targets: []string{""}}},
-		{"bad strategy", &SelectRequest{Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}, Strategy: "zigzag"}},
-		{"negative workers", &SelectRequest{Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}, Workers: -1}},
+		{"bad strategy", &SelectRequest{Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}, SelectOptions: SelectOptions{Strategy: "zigzag"}}},
+		{"negative workers", &SelectRequest{Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}, SelectOptions: SelectOptions{Workers: -1}}},
 	}
 	for _, tc := range cases {
 		_, err := d.Select(ctx, tc.req)
@@ -95,7 +95,7 @@ func TestStrategyDispatch(t *testing.T) {
 		t.Fatalf("two-phase response missing recall: %+v", two)
 	}
 
-	sh, err := d.Select(ctx, &SelectRequest{Task: datahub.TaskNLP, Targets: target, Strategy: "sh"})
+	sh, err := d.Select(ctx, &SelectRequest{Task: datahub.TaskNLP, Targets: target, SelectOptions: SelectOptions{Strategy: "sh"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestStrategyDispatch(t *testing.T) {
 		t.Fatalf("sh response wrong: %+v", sh.Results[0])
 	}
 
-	bf, err := d.Select(ctx, &SelectRequest{Task: datahub.TaskNLP, Targets: target, Strategy: "bf"})
+	bf, err := d.Select(ctx, &SelectRequest{Task: datahub.TaskNLP, Targets: target, SelectOptions: SelectOptions{Strategy: "bf"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestStrategyDispatch(t *testing.T) {
 		t.Fatalf("bf must cost more than sh: bf=%v sh=%v", bf.TotalEpochs, sh.TotalEpochs)
 	}
 
-	ens, err := d.Select(ctx, &SelectRequest{Task: datahub.TaskNLP, Targets: target, Strategy: "ensemble"})
+	ens, err := d.Select(ctx, &SelectRequest{Task: datahub.TaskNLP, Targets: target, SelectOptions: SelectOptions{Strategy: "ensemble"}})
 	if err != nil {
 		t.Fatal(err)
 	}

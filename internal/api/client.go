@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 )
 
 // Client is the HTTP implementation of the API contract. Errors decoded
@@ -29,8 +30,16 @@ func NewClient(base string, httpClient *http.Client) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
 }
 
-// Select implements API.
+// Select implements API. The request is validated locally with the same
+// gate the server applies, so a malformed request fails fast without a
+// round trip — and fails identically to the in-process path.
 func (c *Client) Select(ctx context.Context, req *SelectRequest) (*SelectResponse, error) {
+	if req == nil {
+		return nil, errBadRequest("nil request")
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, fmt.Errorf("api: marshal request: %w", err)
@@ -40,6 +49,42 @@ func (c *Client) Select(ctx context.Context, req *SelectRequest) (*SelectRespons
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// SelectRetry is Select with bounded retries of transient refusals. It
+// consults the contract's Retryable predicate — rate_limited, overloaded,
+// unavailable — rather than any status-class heuristic, sleeps the
+// server's Retry-After hint when one rides the refusal (a small linear
+// backoff otherwise), and gives up after `attempts` tries, returning the
+// last refusal. Deterministic rejections and cancellations are never
+// retried.
+func (c *Client) SelectRetry(ctx context.Context, req *SelectRequest, attempts int) (*SelectResponse, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		resp, err := c.Select(ctx, req)
+		if err == nil || !Retryable(err) {
+			return resp, err
+		}
+		lastErr = err
+		if i == attempts-1 {
+			break
+		}
+		wait := RetryAfter(err)
+		if wait <= 0 {
+			wait = time.Duration(i+1) * 50 * time.Millisecond
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, classify(ctx.Err())
+		}
+	}
+	return nil, lastErr
 }
 
 // Targets implements API.
@@ -112,7 +157,7 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	if res.StatusCode != http.StatusOK {
 		var e ErrorResponse
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return errFromCode(e.Code, e.Error)
+			return errFromCode(e.Code, e.Error, time.Duration(e.RetryAfterMS)*time.Millisecond)
 		}
 		return fmt.Errorf("api: %s %s: unexpected status %d: %s", method, path, res.StatusCode, strings.TrimSpace(string(data)))
 	}

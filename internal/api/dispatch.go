@@ -2,7 +2,6 @@ package api
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"twophase/internal/service"
@@ -42,34 +41,32 @@ func (d *Dispatcher) Select(ctx context.Context, req *SelectRequest) (*SelectRes
 	if req == nil {
 		return nil, errBadRequest("nil request")
 	}
-	if req.Task == "" {
-		return nil, errBadRequest("missing task")
+	if err := req.Validate(); err != nil {
+		return nil, err
 	}
-	if len(req.Targets) == 0 {
-		return nil, errBadRequest("no targets")
-	}
-	for _, t := range req.Targets {
-		if t == "" {
-			return nil, errBadRequest("empty target name")
-		}
-	}
-	if req.Workers < 0 || req.EnsembleK < 0 {
-		return nil, errBadRequest(fmt.Sprintf("negative tuning field (workers=%d, ensemble_k=%d)", req.Workers, req.EnsembleK))
-	}
-	strat, err := parseStrategy(req.Strategy)
+	strat, err := req.Normalize()
 	if err != nil {
 		return nil, err
 	}
 
 	start := time.Now()
-	results, err := d.svc.Do(ctx, service.Request{
+	sreq := service.Request{
 		Task:      req.Task,
 		Targets:   req.Targets,
 		Strategy:  strat,
 		Seed:      req.Seed,
 		Workers:   req.Workers,
 		EnsembleK: req.EnsembleK,
-	})
+		MaxEpochs: req.MaxEpochs,
+	}
+	if req.DeadlineMS > 0 {
+		// The budget deadline is resolved to an absolute instant here, at
+		// admission — deliberately NOT via the request context: a context
+		// deadline cancels the work (499), the budget deadline truncates
+		// it (200 with best-so-far).
+		sreq.Deadline = start.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+	}
+	results, err := d.svc.Do(ctx, sreq)
 	if err != nil {
 		return nil, classify(err)
 	}
@@ -105,6 +102,15 @@ func (d *Dispatcher) Select(ctx context.Context, req *SelectRequest) (*SelectRes
 			tr.Epochs = r.Report.TotalEpochs()
 			if r.Report.Recall != nil {
 				tr.Recalled = len(r.Report.Recall.Recalled)
+			}
+			if r.Report.Truncated {
+				tr.Truncated = true
+				tr.Budget = &BudgetStatus{
+					TruncatedBy: r.Report.TruncatedBy,
+					MaxEpochs:   req.MaxEpochs,
+					DeadlineMS:  req.DeadlineMS,
+				}
+				resp.Truncated++
 			}
 			// Batch cost is the sum of this request's per-target
 			// ledgers, never the service's cumulative spend.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"twophase/internal/datahub"
 	"twophase/internal/service"
@@ -33,7 +34,57 @@ var (
 	// alive to begin with). Unlike the other sentinels it is transient —
 	// clients may retry after backends recover.
 	ErrUnavailable = errors.New("api: no backend available")
+	// ErrRateLimited marks a request refused by the admission tier's
+	// per-client rate limit (HTTP 429). Transient: the paired Retry-After
+	// hint says when the bucket refills.
+	ErrRateLimited = errors.New("api: rate limited")
+	// ErrOverloaded marks a request shed because the admission queue was
+	// full (HTTP 503). Transient: retry after the Retry-After hint.
+	ErrOverloaded = errors.New("api: overloaded")
 )
+
+// Error is the structured wire error of the v1.1 contract: a machine
+// code, a message, and an optional retry hint. It unwraps to the code's
+// sentinel, so errors.Is(err, api.ErrRateLimited) holds whether the error
+// was minted in process or decoded off an HTTP ErrorResponse.
+type Error struct {
+	// Code is the wire code (CodeRateLimited, CodeOverloaded, ...).
+	Code string
+	// Message is the human-readable description.
+	Message string
+	// RetryAfter, when positive, is the server's hint for when a retry
+	// may succeed. Rendered as retry_after_ms in the body and as the
+	// Retry-After header (rounded up to whole seconds).
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *Error) Error() string { return e.Message }
+
+// Unwrap ties the structured error to its code's sentinel.
+func (e *Error) Unwrap() error { return sentinelOf(e.Code) }
+
+// Retryable reports whether a failed request may succeed on retry without
+// any change to the request itself: backend unavailability, rate limiting
+// and load shedding qualify; contract rejections and cancellations do
+// not. The Go Client and the shard Router consult this single predicate
+// instead of hard-coding status classes, so a new transient code is
+// retryable everywhere at once.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrUnavailable) ||
+		errors.Is(err, ErrRateLimited) ||
+		errors.Is(err, ErrOverloaded)
+}
+
+// RetryAfter extracts the retry hint riding err, or 0 when it carries
+// none. The hint survives the HTTP boundary via retry_after_ms.
+func RetryAfter(err error) time.Duration {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.RetryAfter
+	}
+	return 0
+}
 
 // StatusClientClosedRequest is nginx's nonstandard 499 "client closed
 // request", the conventional status for work abandoned by the caller.
@@ -48,7 +99,8 @@ func classify(err error) error {
 		return nil
 	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrUnknownTask),
 		errors.Is(err, ErrUnknownTarget), errors.Is(err, ErrCanceled),
-		errors.Is(err, ErrSeedRejected), errors.Is(err, ErrUnavailable):
+		errors.Is(err, ErrSeedRejected), errors.Is(err, ErrUnavailable),
+		errors.Is(err, ErrRateLimited), errors.Is(err, ErrOverloaded):
 		return err
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return fmt.Errorf("%w: %v", ErrCanceled, err)
@@ -76,7 +128,9 @@ func HTTPStatus(err error) int {
 		return http.StatusForbidden
 	case errors.Is(err, ErrCanceled):
 		return StatusClientClosedRequest
-	case errors.Is(err, ErrUnavailable):
+	case errors.Is(err, ErrRateLimited):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrUnavailable), errors.Is(err, ErrOverloaded):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -92,6 +146,8 @@ const (
 	CodeSeedRejected  = "seed_rejected"
 	CodeCanceled      = "canceled"
 	CodeUnavailable   = "unavailable"
+	CodeRateLimited   = "rate_limited"
+	CodeOverloaded    = "overloaded"
 	CodeInternal      = "internal"
 )
 
@@ -110,6 +166,10 @@ func Code(err error) string {
 		return CodeCanceled
 	case errors.Is(err, ErrUnavailable):
 		return CodeUnavailable
+	case errors.Is(err, ErrRateLimited):
+		return CodeRateLimited
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
 	default:
 		return CodeInternal
 	}
@@ -118,25 +178,37 @@ func Code(err error) string {
 // errBadRequest wraps a validation message in ErrBadRequest.
 func errBadRequest(msg string) error { return fmt.Errorf("%w: %s", ErrBadRequest, msg) }
 
-// errFromCode rebuilds a sentinel-wrapped error from a wire code and
-// message — the client-side inverse of Code.
-func errFromCode(code, msg string) error {
-	var sentinel error
+// sentinelOf maps a wire code back to its package sentinel (nil for
+// internal/unknown codes, which have none).
+func sentinelOf(code string) error {
 	switch code {
 	case CodeBadRequest:
-		sentinel = ErrBadRequest
+		return ErrBadRequest
 	case CodeUnknownTask:
-		sentinel = ErrUnknownTask
+		return ErrUnknownTask
 	case CodeUnknownTarget:
-		sentinel = ErrUnknownTarget
+		return ErrUnknownTarget
 	case CodeSeedRejected:
-		sentinel = ErrSeedRejected
+		return ErrSeedRejected
 	case CodeCanceled:
-		sentinel = ErrCanceled
+		return ErrCanceled
 	case CodeUnavailable:
-		sentinel = ErrUnavailable
+		return ErrUnavailable
+	case CodeRateLimited:
+		return ErrRateLimited
+	case CodeOverloaded:
+		return ErrOverloaded
 	default:
+		return nil
+	}
+}
+
+// errFromCode rebuilds a structured error from a wire code, message and
+// retry hint — the client-side inverse of writeError. The result unwraps
+// to the code's sentinel, so errors.Is holds across the HTTP boundary.
+func errFromCode(code, msg string, retryAfter time.Duration) error {
+	if sentinelOf(code) == nil {
 		return errors.New(msg)
 	}
-	return fmt.Errorf("%w: %s", sentinel, msg)
+	return &Error{Code: code, Message: msg, RetryAfter: retryAfter}
 }

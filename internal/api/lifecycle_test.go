@@ -31,7 +31,7 @@ func TestSeedRejectedMapping(t *testing.T) {
 	ctx := context.Background()
 
 	seed := uint64(7)
-	req := &SelectRequest{Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}, Seed: &seed}
+	req := &SelectRequest{Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}, SelectOptions: SelectOptions{Seed: &seed}}
 	_, err = d.Select(ctx, req)
 	if !errors.Is(err, ErrSeedRejected) {
 		t.Fatalf("dispatcher: got %v, want ErrSeedRejected", err)
@@ -68,7 +68,7 @@ func TestStatsReportsCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	seed := uint64(7)
-	if _, err := d.Select(ctx, &SelectRequest{Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}, Seed: &seed}); err != nil {
+	if _, err := d.Select(ctx, &SelectRequest{Task: datahub.TaskNLP, Targets: []string{"tweet_eval"}, SelectOptions: SelectOptions{Seed: &seed}}); err != nil {
 		t.Fatal(err)
 	}
 

@@ -2,9 +2,15 @@ package api
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
+	"strconv"
+	"time"
+
+	"twophase/internal/admission"
 )
 
 // maxBodyBytes bounds a /v1/select request body; selection requests are
@@ -15,6 +21,15 @@ const maxBodyBytes = 1 << 20
 // sharding gateway reads it off backend responses to assert and report
 // routing; multi-process tests assert routing stability through it.
 const InstanceHeader = "X-Instance-Id"
+
+// Admission request headers. ClientIDHeader names the client for
+// per-client rate limiting (falls back to the remote address);
+// PriorityHeader is an integer rank for queue ordering and shedding —
+// higher survives longer (missing or unparsable means 0).
+const (
+	ClientIDHeader = "X-Client-Id"
+	PriorityHeader = "X-Priority"
+)
 
 // HandlerOptions tunes NewHandlerWith.
 type HandlerOptions struct {
@@ -28,6 +43,12 @@ type HandlerOptions struct {
 	// Instance, when non-empty, is stamped on every response as the
 	// X-Instance-Id header and echoed in the healthz body.
 	Instance string
+	// Admission, when non-nil, gates /v1/select: refused requests render
+	// as typed rate_limited (429) / overloaded (503) errors carrying
+	// Retry-After, and the controller's snapshot rides /v1/stats. The
+	// other endpoints are never gated — health and stats must answer
+	// precisely when the service is saturated.
+	Admission *admission.Controller
 }
 
 // NewHandler mounts the v1 contract on an http.Handler:
@@ -52,6 +73,14 @@ func NewHandlerWith(a API, opts HandlerOptions) http.Handler {
 	ready := opts.Ready
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/select", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Admission != nil {
+			release, retry, err := opts.Admission.Admit(r.Context(), clientID(r), priorityOf(r))
+			if err != nil {
+				writeError(w, admissionError(err, retry))
+				return
+			}
+			defer release()
+		}
 		var req SelectRequest
 		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 		if err != nil {
@@ -60,6 +89,12 @@ func NewHandlerWith(a API, opts HandlerOptions) http.Handler {
 		}
 		if err := json.Unmarshal(body, &req); err != nil {
 			writeError(w, errBadRequest(fmt.Sprintf("decode body: %v", err)))
+			return
+		}
+		// Reject malformed requests at the transport edge with the same
+		// gate the Dispatcher applies, before any framework resolution.
+		if err := req.Validate(); err != nil {
+			writeError(w, err)
 			return
 		}
 		resp, err := a.Select(r.Context(), &req)
@@ -90,6 +125,18 @@ func NewHandlerWith(a API, opts HandlerOptions) http.Handler {
 			writeError(w, err)
 			return
 		}
+		if opts.Admission != nil {
+			st := opts.Admission.Stats()
+			resp.Admission = &AdmissionStats{
+				Admitted:    st.Admitted,
+				RateLimited: st.RateLimited,
+				Shed:        st.Shed,
+				Queued:      st.Queued,
+				Inflight:    st.Inflight,
+				QueueLen:    st.QueueLen,
+				Clients:     st.Clients,
+			}
+		}
 		writeJSON(w, http.StatusOK, resp)
 	})
 	if opts.Instance == "" {
@@ -99,6 +146,42 @@ func NewHandlerWith(a API, opts HandlerOptions) http.Handler {
 		w.Header().Set(InstanceHeader, opts.Instance)
 		mux.ServeHTTP(w, r)
 	})
+}
+
+// clientID names the requester for per-client rate limiting: the
+// X-Client-Id header when present, else the remote host (every anonymous
+// connection from one machine shares a bucket).
+func clientID(r *http.Request) string {
+	if id := r.Header.Get(ClientIDHeader); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// priorityOf parses the X-Priority header (missing or malformed = 0).
+func priorityOf(r *http.Request) int {
+	p, err := strconv.Atoi(r.Header.Get(PriorityHeader))
+	if err != nil {
+		return 0
+	}
+	return p
+}
+
+// admissionError maps an admission refusal onto the wire contract:
+// rate_limited → 429, overloaded → 503, both carrying the controller's
+// Retry-After hint; a context error stays a cancellation.
+func admissionError(err error, retry time.Duration) error {
+	switch {
+	case errors.Is(err, admission.ErrRateLimited):
+		return &Error{Code: CodeRateLimited, Message: err.Error(), RetryAfter: retry}
+	case errors.Is(err, admission.ErrShed):
+		return &Error{Code: CodeOverloaded, Message: err.Error(), RetryAfter: retry}
+	default:
+		return classify(err)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
@@ -112,5 +195,12 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
-	writeJSON(w, HTTPStatus(err), ErrorResponse{Error: err.Error(), Code: Code(err)})
+	resp := ErrorResponse{Error: err.Error(), Code: Code(err)}
+	if ra := RetryAfter(err); ra > 0 {
+		resp.RetryAfterMS = ra.Milliseconds()
+		// Retry-After speaks whole seconds; round up so a client honoring
+		// only the header never retries before the hint.
+		w.Header().Set("Retry-After", strconv.FormatInt(int64((ra+time.Second-1)/time.Second), 10))
+	}
+	writeJSON(w, HTTPStatus(err), resp)
 }

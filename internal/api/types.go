@@ -7,20 +7,25 @@
 // over HTTP is byte-identical to one served in process for the same seed.
 package api
 
-import "twophase/internal/core"
+import (
+	"fmt"
+
+	"twophase/internal/core"
+)
 
 // Version is the contract version stamped on every response.
-const Version = "v1"
+// v1.1 adds the anytime-budget request fields (deadline_ms, max_epochs),
+// the truncated/budget response block, and retryable wire errors
+// (rate_limited, overloaded, retry_after_ms); every v1 document remains
+// valid, so the path prefix stays /v1.
+const Version = "v1.1"
 
-// SelectRequest asks for one or more target selections within a task
-// family. The zero values of the optional fields mean "service default".
-type SelectRequest struct {
-	// Task is the task family ("nlp" or "cv").
-	Task string `json:"task"`
-	// Targets are the target dataset names; a single-element slice is the
-	// single-selection form. A request with no targets is rejected with
-	// ErrBadRequest.
-	Targets []string `json:"targets"`
+// SelectOptions are the per-request tuning knobs shared by every serving
+// path. The struct embeds flat into SelectRequest (the wire shape is
+// unchanged from v1); Validate is the single gate the Dispatcher, the HTTP
+// handler and the Client all route through, so the three paths cannot
+// drift on what a well-formed request is.
+type SelectOptions struct {
 	// Strategy picks the selection procedure: "two-phase" (default),
 	// "sh", "bf" or "ensemble".
 	Strategy string `json:"strategy,omitempty"`
@@ -34,6 +39,76 @@ type SelectRequest struct {
 	// EnsembleK is the ensemble size for strategy "ensemble"
 	// (0 = server default of 3).
 	EnsembleK int `json:"ensemble_k,omitempty"`
+	// DeadlineMS is the anytime budget in wall-clock milliseconds: the
+	// fine phase stops at the last stage boundary inside the deadline and
+	// the response reports truncated=true with the best-so-far winner —
+	// a 200, never a 499 (which remains reserved for the client walking
+	// away). 0 means no deadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// MaxEpochs caps the training epochs per target. An explicit 0 is a
+	// real budget (no training; the winner falls out of the untrained
+	// heads deterministically); omitted/null means unbounded. Unlike
+	// DeadlineMS, a fixed epoch cap truncates bit-identically on every
+	// serving path.
+	MaxEpochs *int `json:"max_epochs,omitempty"`
+}
+
+// Validate rejects malformed tuning knobs with ErrBadRequest. It is
+// transport-independent: the Dispatcher, the HTTP handler and the Client
+// all call it, so a request rejected here is rejected identically on
+// every path.
+func (o *SelectOptions) Validate() error {
+	if o.Workers < 0 || o.EnsembleK < 0 {
+		return errBadRequest(fmt.Sprintf("negative tuning field (workers=%d, ensemble_k=%d)", o.Workers, o.EnsembleK))
+	}
+	if o.DeadlineMS < 0 {
+		return errBadRequest(fmt.Sprintf("negative deadline_ms %d", o.DeadlineMS))
+	}
+	if o.MaxEpochs != nil && *o.MaxEpochs < 0 {
+		return errBadRequest(fmt.Sprintf("negative max_epochs %d", *o.MaxEpochs))
+	}
+	_, err := parseStrategy(o.Strategy)
+	return err
+}
+
+// Normalize validates the options and resolves the wire strategy name to
+// its canonical core.Strategy (empty means two-phase).
+func (o *SelectOptions) Normalize() (core.Strategy, error) {
+	if err := o.Validate(); err != nil {
+		return "", err
+	}
+	return parseStrategy(o.Strategy)
+}
+
+// SelectRequest asks for one or more target selections within a task
+// family. The zero values of the optional fields mean "service default".
+type SelectRequest struct {
+	// Task is the task family ("nlp" or "cv").
+	Task string `json:"task"`
+	// Targets are the target dataset names; a single-element slice is the
+	// single-selection form. A request with no targets is rejected with
+	// ErrBadRequest.
+	Targets []string `json:"targets"`
+	// SelectOptions embeds the per-request tuning knobs; JSON marshals
+	// them flat, so the wire shape is identical to v1.
+	SelectOptions
+}
+
+// Validate rejects a malformed request with ErrBadRequest: the shape
+// checks here plus the embedded SelectOptions.Validate.
+func (r *SelectRequest) Validate() error {
+	if r.Task == "" {
+		return errBadRequest("missing task")
+	}
+	if len(r.Targets) == 0 {
+		return errBadRequest("no targets")
+	}
+	for _, t := range r.Targets {
+		if t == "" {
+			return errBadRequest("empty target name")
+		}
+	}
+	return r.SelectOptions.Validate()
 }
 
 // TargetResult is one target's selection outcome. Exactly one of
@@ -47,7 +122,13 @@ type TargetResult struct {
 	TestAcc  float64  `json:"test_acc,omitempty"`
 	Epochs   float64  `json:"epochs,omitempty"`
 	Recalled int      `json:"recalled,omitempty"` // two-phase/ensemble only
-	Error    string   `json:"error,omitempty"`
+	// Truncated reports that this target's fine phase stopped at the
+	// request budget and Winner is the best-so-far survivor; Budget then
+	// carries the detail. Partial epochs spent before the stop still
+	// count in Epochs and the response's TotalEpochs.
+	Truncated bool          `json:"truncated,omitempty"`
+	Budget    *BudgetStatus `json:"budget,omitempty"`
+	Error     string        `json:"error,omitempty"`
 	// ErrorCode is the machine-readable code for Error ("unknown_target",
 	// "canceled", "internal", ...).
 	ErrorCode string `json:"error_code,omitempty"`
@@ -55,6 +136,18 @@ type TargetResult struct {
 	// set only by the sharding gateway (from the backend's X-Instance-Id
 	// response header) so clients and tests can assert routing.
 	Backend string `json:"backend,omitempty"`
+}
+
+// BudgetStatus is a truncated target's budget block: why the selection
+// stopped and which request-level limits were in force.
+type BudgetStatus struct {
+	// TruncatedBy names the exhausted dimension: "max_epochs" or
+	// "deadline" (the epoch cap wins when both are exhausted, because it
+	// is the deterministic one).
+	TruncatedBy string `json:"truncated_by"`
+	// MaxEpochs / DeadlineMS echo the request's budget fields.
+	MaxEpochs  *int  `json:"max_epochs,omitempty"`
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // SelectResponse is the whole selection document.
@@ -66,6 +159,9 @@ type SelectResponse struct {
 	Results    []TargetResult `json:"results"`
 	// Failed counts the Results entries that carry an Error.
 	Failed int `json:"failed"`
+	// Truncated counts the Results entries whose selection stopped at the
+	// request budget (their partial cost is still in TotalEpochs).
+	Truncated int `json:"truncated,omitempty"`
 	// TotalEpochs is the summed cost of this request's per-target
 	// ledgers — not the service's cumulative spend, so reusing a warm
 	// service never overcounts a batch.
@@ -103,6 +199,25 @@ type Stats struct {
 	// routing counters and per-backend health + aggregated backend stats.
 	// On a gateway, the top-level counters above are fleet-wide sums.
 	Gateway *GatewayStats `json:"gateway,omitempty"`
+	// Admission is set when the serving process fronts /v1/select with an
+	// admission controller: rate-limit/shed counters and queue gauges.
+	Admission *AdmissionStats `json:"admission,omitempty"`
+}
+
+// AdmissionStats is the admission controller's observability snapshot.
+type AdmissionStats struct {
+	// Admitted counts requests through the gate; RateLimited and Shed
+	// count the typed refusals (429s and 503s); Queued counts requests
+	// that waited for a slot before admission.
+	Admitted    int64 `json:"admitted"`
+	RateLimited int64 `json:"rate_limited"`
+	Shed        int64 `json:"shed"`
+	Queued      int64 `json:"queued"`
+	// Inflight / QueueLen are instantaneous gauges; Clients counts
+	// tracked per-client rate buckets.
+	Inflight int `json:"inflight"`
+	QueueLen int `json:"queue_len"`
+	Clients  int `json:"clients"`
 }
 
 // CacheStats is the framework lifecycle cache's observability snapshot.
@@ -140,6 +255,12 @@ type GatewayStats struct {
 	// Failovers counts sub-requests retried on another replica after a
 	// connection error or backend-side failure.
 	Failovers int64 `json:"failovers"`
+	// Hedges counts hedged sub-requests fired at a second replica after
+	// the primary ran past the fleet's latency percentile; HedgeWins
+	// counts the ones whose response was the one used. Hedge traffic is
+	// not a failover.
+	Hedges    int64 `json:"hedges,omitempty"`
+	HedgeWins int64 `json:"hedge_wins,omitempty"`
 	// BackendStats describes each backend in configured order.
 	BackendStats []BackendStats `json:"backend_stats"`
 }
@@ -174,6 +295,10 @@ type Health struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Code  string `json:"code"`
+	// RetryAfterMS, when positive, tells the client when a retry may
+	// succeed (rate_limited / overloaded / unavailable responses). The
+	// same hint rides the Retry-After header, rounded up to seconds.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }
 
 // parseStrategy validates a wire strategy name, mapping failures to

@@ -14,6 +14,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"twophase/internal/datahub"
 	"twophase/internal/modelhub"
@@ -327,6 +328,15 @@ type SelectOptions struct {
 	// EnsembleK is the ensemble size for StrategyEnsemble
 	// (0 means DefaultEnsembleK; ignored by the other strategies).
 	EnsembleK int
+	// MaxEpochs, when non-nil, caps the training epochs the fine phase may
+	// spend before returning its best-so-far winner (Truncated on the
+	// Report). 0 is a real zero budget; nil means unbounded. Deterministic:
+	// a fixed cap truncates at the same stage on every serving path.
+	MaxEpochs *int
+	// Deadline, when nonzero, is the anytime wall-clock bound for the fine
+	// phase. Passing it truncates the selection (a 200 with best-so-far),
+	// unlike a context deadline, which cancels it (an error).
+	Deadline time.Time
 }
 
 // Report is the result of one end-to-end online selection.
@@ -347,6 +357,12 @@ type Report struct {
 	Members []string
 	// Ledger is the combined cost of all phases.
 	Ledger trainer.Ledger
+	// Truncated reports that the fine phase stopped at its request budget
+	// and Outcome carries the best-so-far winner; TruncatedBy names the
+	// exhausted dimension (selection.TruncatedByEpochs or
+	// selection.TruncatedByDeadline).
+	Truncated   bool
+	TruncatedBy string
 }
 
 // TotalEpochs returns the end-to-end cost in epochs (proxy inference
@@ -379,6 +395,14 @@ func (f *Framework) SelectWith(ctx context.Context, target *datahub.Dataset, opt
 	if workers == 0 {
 		workers = f.Workers
 	}
+	// base is the per-request training config shared by every strategy;
+	// the budget fields make the fine phase anytime (see selection.Config).
+	base := func(salt string) selection.Config {
+		return selection.Config{
+			HP: f.HP, Seed: f.Seed, Salt: salt, Workers: workers,
+			MaxEpochs: opts.MaxEpochs, Deadline: opts.Deadline,
+		}
+	}
 	switch strat {
 	case StrategyTwoPhase:
 		var ledger trainer.Ledger
@@ -391,28 +415,35 @@ func (f *Framework) SelectWith(ctx context.Context, target *datahub.Dataset, opt
 			return nil, err
 		}
 		out, err := selection.FineSelect(ctx, candidates.Models(), target, selection.FineSelectOptions{
-			Config: selection.Config{HP: f.HP, Seed: f.Seed, Salt: "two-phase", Workers: workers},
+			Config: base("two-phase"),
 			Matrix: f.Matrix,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("core: fine selection on %s: %w", target.Name, err)
 		}
 		ledger.Add(out.Ledger)
-		return &Report{Target: target.Name, Strategy: strat, Recall: rr, Outcome: out, Ledger: ledger}, nil
+		return &Report{
+			Target: target.Name, Strategy: strat, Recall: rr, Outcome: out, Ledger: ledger,
+			Truncated: out.Truncated, TruncatedBy: out.TruncatedBy,
+		}, nil
 	case StrategySH:
-		out, err := selection.SuccessiveHalving(ctx, f.Repo.Models(), target,
-			selection.Config{HP: f.HP, Seed: f.Seed, Salt: "successive-halving", Workers: workers})
+		out, err := selection.SuccessiveHalving(ctx, f.Repo.Models(), target, base("successive-halving"))
 		if err != nil {
 			return nil, err
 		}
-		return &Report{Target: target.Name, Strategy: strat, Outcome: out, Ledger: out.Ledger}, nil
+		return &Report{
+			Target: target.Name, Strategy: strat, Outcome: out, Ledger: out.Ledger,
+			Truncated: out.Truncated, TruncatedBy: out.TruncatedBy,
+		}, nil
 	case StrategyBF:
-		out, err := selection.BruteForce(ctx, f.Repo.Models(), target,
-			selection.Config{HP: f.HP, Seed: f.Seed, Salt: "brute-force", Workers: workers})
+		out, err := selection.BruteForce(ctx, f.Repo.Models(), target, base("brute-force"))
 		if err != nil {
 			return nil, err
 		}
-		return &Report{Target: target.Name, Strategy: strat, Outcome: out, Ledger: out.Ledger}, nil
+		return &Report{
+			Target: target.Name, Strategy: strat, Outcome: out, Ledger: out.Ledger,
+			Truncated: out.Truncated, TruncatedBy: out.TruncatedBy,
+		}, nil
 	case StrategyEnsemble:
 		k := opts.EnsembleK
 		if k <= 0 {
@@ -428,7 +459,7 @@ func (f *Framework) SelectWith(ctx context.Context, target *datahub.Dataset, opt
 			return nil, err
 		}
 		ens, err := selection.EnsembleSelect(ctx, candidates.Models(), target, selection.FineSelectOptions{
-			Config: selection.Config{HP: f.HP, Seed: f.Seed, Salt: "two-phase", Workers: workers},
+			Config: base("two-phase"),
 			Matrix: f.Matrix,
 		}, k)
 		if err != nil {
@@ -440,14 +471,18 @@ func (f *Framework) SelectWith(ctx context.Context, target *datahub.Dataset, opt
 			Strategy: strat,
 			Recall:   rr,
 			Outcome: &selection.Outcome{
-				Winner:     ens.Members[0],
-				WinnerVal:  ens.EnsembleVal,
-				WinnerTest: ens.EnsembleTest,
-				Ledger:     ens.Ledger,
-				Stages:     ens.Stages,
+				Winner:      ens.Members[0],
+				WinnerVal:   ens.EnsembleVal,
+				WinnerTest:  ens.EnsembleTest,
+				Ledger:      ens.Ledger,
+				Stages:      ens.Stages,
+				Truncated:   ens.Truncated,
+				TruncatedBy: ens.TruncatedBy,
 			},
-			Members: ens.Members,
-			Ledger:  ledger,
+			Members:     ens.Members,
+			Ledger:      ledger,
+			Truncated:   ens.Truncated,
+			TruncatedBy: ens.TruncatedBy,
 		}, nil
 	default:
 		if _, err := ParseStrategy(string(strat)); err != nil {

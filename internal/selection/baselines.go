@@ -11,6 +11,7 @@ package selection
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"twophase/internal/datahub"
 	"twophase/internal/modelhub"
@@ -39,6 +40,22 @@ type Config struct {
 	// fixed pool order and the ledger is charged per stage, not per
 	// goroutine.
 	Workers int
+	// MaxEpochs, when non-nil, caps the training epochs this selection
+	// may charge: a stage whose full-pool cost would push the ledger past
+	// the cap is not started, and the outcome reports Truncated with the
+	// best-so-far winner instead of an error. 0 is a real budget (no
+	// training at all — the winner falls out of the untrained heads,
+	// deterministically); nil runs the full stage plan. Truncation
+	// happens only at stage boundaries, so a fixed cap yields a
+	// bit-identical outcome on every serving path.
+	MaxEpochs *int
+	// Deadline, when nonzero, is the wall-clock anytime bound: a stage
+	// that would start at or after it is skipped and the outcome reports
+	// Truncated. Unlike context cancellation this is not an error — the
+	// caller still gets the best-so-far winner. The check happens at
+	// stage boundaries, so a selection may overrun the deadline by up to
+	// one stage (pool size × stage epochs).
+	Deadline time.Time
 }
 
 // stageEpochs returns the effective validation interval.
@@ -78,6 +95,14 @@ type Outcome struct {
 	// Stages records the model names still in play at the start of each
 	// training stage (diagnostics; stage 0 is the initial pool).
 	Stages [][]string
+	// Truncated reports that the selection stopped before its full stage
+	// plan because the config's budget (MaxEpochs or Deadline) ran out;
+	// Winner is then the best-so-far survivor, not the full procedure's.
+	Truncated bool
+	// TruncatedBy names the exhausted budget dimension
+	// (TruncatedByEpochs or TruncatedByDeadline); empty when not
+	// truncated.
+	TruncatedBy string
 }
 
 func newRuns(models []*modelhub.Model, d *datahub.Dataset, cfg Config) (map[string]*trainer.Run, error) {
@@ -100,7 +125,10 @@ func newRuns(models []*modelhub.Model, d *datahub.Dataset, cfg Config) (map[stri
 
 // BruteForce fine-tunes every model for the full epoch budget and selects
 // the best final validation accuracy. Cost: |M| * Epochs. A canceled
-// context aborts mid-pool with ctx.Err().
+// context aborts mid-pool with ctx.Err(). Training proceeds one full-pool
+// epoch pass at a time so a budget can stop it between passes — every run
+// owns its RNG stream, so the per-epoch interleaving is bit-identical to
+// the historical train-each-model-to-completion order.
 func BruteForce(ctx context.Context, models []*modelhub.Model, d *datahub.Dataset, cfg Config) (*Outcome, error) {
 	runs, err := newRuns(models, d, cfg)
 	if err != nil {
@@ -108,8 +136,14 @@ func BruteForce(ctx context.Context, models []*modelhub.Model, d *datahub.Datase
 	}
 	pool := names(models)
 	out := &Outcome{Stages: [][]string{pool}}
-	if _, err := trainStage(ctx, runs, pool, cfg.HP.Epochs, cfg.workers(), &out.Ledger); err != nil {
-		return nil, err
+	for e := 0; e < cfg.HP.Epochs; e++ {
+		if by, stop := cfg.budgetStop(out.Ledger.TrainEpochs(), len(pool)); stop {
+			out.truncate(by)
+			break
+		}
+		if _, err := trainStage(ctx, runs, pool, 1, cfg.workers(), &out.Ledger); err != nil {
+			return nil, err
+		}
 	}
 	return finish(out, pool, runs)
 }
@@ -127,6 +161,10 @@ func SuccessiveHalving(ctx context.Context, models []*modelhub.Model, d *datahub
 	pool := names(models)
 	out := &Outcome{}
 	for _, stageLen := range cfg.stagePlan() {
+		if by, stop := cfg.budgetStop(out.Ledger.TrainEpochs(), len(pool)*stageLen); stop {
+			out.truncate(by)
+			break
+		}
 		out.Stages = append(out.Stages, append([]string(nil), pool...))
 		vals, err := trainStage(ctx, runs, pool, stageLen, cfg.workers(), &out.Ledger)
 		if err != nil {

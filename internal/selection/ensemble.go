@@ -27,6 +27,11 @@ type EnsembleOutcome struct {
 	Ledger trainer.Ledger
 	// Stages records the surviving pool at each training stage.
 	Stages [][]string
+	// Truncated / TruncatedBy report an anytime stop at the config's
+	// budget: the members are then the best-so-far survivors (still at
+	// most k, ranked by their current validation accuracy).
+	Truncated   bool
+	TruncatedBy string
 }
 
 // EnsembleSelect runs Algorithm 1's staged filtering but stops shrinking
@@ -48,6 +53,10 @@ func EnsembleSelect(ctx context.Context, models []*modelhub.Model, d *datahub.Da
 
 	completed := 0
 	for _, stageLen := range opts.stagePlan() {
+		if by, stop := opts.budgetStop(out.Ledger.TrainEpochs(), len(pool)*stageLen); stop {
+			out.Truncated, out.TruncatedBy = true, by
+			break
+		}
 		out.Stages = append(out.Stages, append([]string(nil), pool...))
 		vals, err := trainStage(ctx, runs, pool, stageLen, opts.workers(), &out.Ledger)
 		if err != nil {

@@ -33,7 +33,10 @@ type FineSelectOptions struct {
 // prediction (Eq. 5/6), trend-based fine-filtering, and a halving
 // backstop, returning a single fully trained model. A canceled context
 // aborts between epochs-of-one-model with ctx.Err(); with an uncanceled
-// context the outcome is bit-identical to the historical signature.
+// context the outcome is bit-identical to the historical signature. A
+// budget in Config (MaxEpochs/Deadline) makes the procedure anytime: it
+// stops at the last stage boundary that fits and reports Truncated with
+// the best-so-far winner instead of erroring.
 func FineSelect(ctx context.Context, models []*modelhub.Model, d *datahub.Dataset, opts FineSelectOptions) (*Outcome, error) {
 	runs, err := newRuns(models, d, opts.Config)
 	if err != nil {
@@ -44,6 +47,10 @@ func FineSelect(ctx context.Context, models []*modelhub.Model, d *datahub.Datase
 
 	completed := 0
 	for _, stageLen := range opts.stagePlan() {
+		if by, stop := opts.budgetStop(out.Ledger.TrainEpochs(), len(pool)*stageLen); stop {
+			out.truncate(by)
+			break
+		}
 		out.Stages = append(out.Stages, append([]string(nil), pool...))
 		vals, err := trainStage(ctx, runs, pool, stageLen, opts.workers(), &out.Ledger)
 		if err != nil {

@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"twophase/internal/core"
 	"twophase/internal/datahub"
@@ -344,6 +345,15 @@ type Request struct {
 	// EnsembleK is the ensemble size for the ensemble strategy
 	// (0 means the default; ignored otherwise).
 	EnsembleK int
+	// MaxEpochs, when non-nil, caps each target's fine-phase training
+	// epochs; the selection then reports Truncated with its best-so-far
+	// winner. 0 is a real zero budget; nil is unbounded.
+	MaxEpochs *int
+	// Deadline, when nonzero, is each target's anytime wall-clock bound.
+	// Unlike a context deadline it truncates (a result) rather than
+	// cancels (an error). Every target of a batch shares the same
+	// absolute instant.
+	Deadline time.Time
 }
 
 // Do serves a selection request: it resolves the framework once, fans the
@@ -367,7 +377,10 @@ func (s *Service) Do(ctx context.Context, req Request) ([]Result, error) {
 	}
 	defer h.Release()
 	fw := h.Framework()
-	opts := core.SelectOptions{Strategy: req.Strategy, Workers: req.Workers, EnsembleK: req.EnsembleK}
+	opts := core.SelectOptions{
+		Strategy: req.Strategy, Workers: req.Workers, EnsembleK: req.EnsembleK,
+		MaxEpochs: req.MaxEpochs, Deadline: req.Deadline,
+	}
 	results := make([]Result, len(req.Targets))
 	sem := make(chan struct{}, s.opts.Concurrency)
 	var wg sync.WaitGroup

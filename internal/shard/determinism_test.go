@@ -26,37 +26,135 @@ var detSizes = datahub.Sizes{Train: 60, Val: 40, Test: 48}
 // renderedReport is the serving outcome in wire form, comparable across
 // every path.
 type renderedReport struct {
-	Winner   string
-	Members  string
-	ValAcc   float64
-	TestAcc  float64
-	Epochs   float64
-	Recalled int
+	Winner      string
+	Members     string
+	ValAcc      float64
+	TestAcc     float64
+	Epochs      float64
+	Recalled    int
+	Truncated   bool
+	TruncatedBy string
 }
 
 func renderResult(tr api.TargetResult) renderedReport {
-	return renderedReport{
-		Winner:   tr.Winner,
-		Members:  fmt.Sprint(tr.Members),
-		ValAcc:   tr.ValAcc,
-		TestAcc:  tr.TestAcc,
-		Epochs:   tr.Epochs,
-		Recalled: tr.Recalled,
+	out := renderedReport{
+		Winner:    tr.Winner,
+		Members:   fmt.Sprint(tr.Members),
+		ValAcc:    tr.ValAcc,
+		TestAcc:   tr.TestAcc,
+		Epochs:    tr.Epochs,
+		Recalled:  tr.Recalled,
+		Truncated: tr.Truncated,
 	}
+	if tr.Budget != nil {
+		out.TruncatedBy = tr.Budget.TruncatedBy
+	}
+	return out
 }
 
 func renderReport(r *core.Report) renderedReport {
 	out := renderedReport{
-		Winner:  r.Outcome.Winner,
-		Members: fmt.Sprint(r.Members),
-		ValAcc:  r.Outcome.WinnerVal,
-		TestAcc: r.Outcome.WinnerTest,
-		Epochs:  r.TotalEpochs(),
+		Winner:      r.Outcome.Winner,
+		Members:     fmt.Sprint(r.Members),
+		ValAcc:      r.Outcome.WinnerVal,
+		TestAcc:     r.Outcome.WinnerTest,
+		Epochs:      r.TotalEpochs(),
+		Truncated:   r.Truncated,
+		TruncatedBy: r.TruncatedBy,
 	}
 	if r.Recall != nil {
 		out.Recalled = len(r.Recall.Recalled)
 	}
 	return out
+}
+
+// TestBudgetedCrossPathDeterminism pins the anytime contract across the
+// serving tier: for a FIXED epoch budget, the truncated best-so-far
+// outcome is bit-identical through the direct framework call, the
+// dispatcher, a single-node HTTP server and the sharding gateway — a
+// truncated answer is as deterministic as a complete one, so replicas
+// and failover stay invisible even under budgets.
+func TestBudgetedCrossPathDeterminism(t *testing.T) {
+	ctx := context.Background()
+	const task, target = "nlp", "tweet_eval"
+	const seed = uint64(0)
+
+	svc, err := service.New(service.Options{Base: core.Options{Seed: seed, Sizes: detSizes}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := api.NewDispatcher(svc, seed)
+	node := httptest.NewServer(api.NewHandlerWith(disp, api.HandlerOptions{Instance: "node"}))
+	defer node.Close()
+	nodeClient := api.NewClient(node.URL, nil)
+	b2 := httptest.NewServer(api.NewHandlerWith(disp, api.HandlerOptions{Instance: "node2"}))
+	defer b2.Close()
+	router, err := shard.NewRouter(shard.RouterOptions{
+		Backends:      []string{node.URL, b2.URL},
+		Replicas:      2,
+		Seed:          seed,
+		ProbeInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routerCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	router.Start(routerCtx)
+	defer router.Close()
+
+	fw, err := core.Build(core.Options{Task: task, Seed: seed, Sizes: detSizes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fw.Catalog.Get(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		strat  core.Strategy
+		budget int
+	}{
+		{core.StrategyTwoPhase, 0},
+		{core.StrategySH, 0},
+		{core.StrategySH, 25}, // mid-run truncation at a stage boundary
+	} {
+		t.Run(fmt.Sprintf("%s/budget%d", tc.strat, tc.budget), func(t *testing.T) {
+			budget := tc.budget
+			report, err := fw.SelectWith(ctx, d, core.SelectOptions{Strategy: tc.strat, MaxEpochs: &budget})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := renderReport(report)
+			if !want.Truncated || want.Winner == "" {
+				t.Fatalf("budget %d did not truncate-with-winner: %+v", budget, want)
+			}
+
+			s := seed
+			req := &api.SelectRequest{Task: task, Targets: []string{target},
+				SelectOptions: api.SelectOptions{Strategy: string(tc.strat), Seed: &s, MaxEpochs: &budget}}
+			for _, path := range []struct {
+				name string
+				api  api.API
+			}{
+				{"dispatcher", disp},
+				{"http", nodeClient},
+				{"gateway", router},
+			} {
+				resp, err := path.api.Select(ctx, req)
+				if err != nil {
+					t.Fatalf("%s: %v", path.name, err)
+				}
+				if resp.Failed != 0 || len(resp.Results) != 1 || resp.Truncated != 1 {
+					t.Fatalf("%s: %+v", path.name, resp)
+				}
+				if got := renderResult(resp.Results[0]); got != want {
+					t.Fatalf("%s diverged from direct call under budget:\n got %+v\nwant %+v", path.name, got, want)
+				}
+			}
+		})
+	}
 }
 
 // TestCrossPathDeterminism drives every strategy at two seeds through all
@@ -126,7 +224,7 @@ func TestCrossPathDeterminism(t *testing.T) {
 				want := renderReport(report)
 
 				s := seed
-				req := &api.SelectRequest{Task: task, Targets: []string{target}, Strategy: string(strat), Seed: &s}
+				req := &api.SelectRequest{Task: task, Targets: []string{target}, SelectOptions: api.SelectOptions{Strategy: string(strat), Seed: &s}}
 				for _, path := range []struct {
 					name string
 					api  api.API

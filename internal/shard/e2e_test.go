@@ -146,7 +146,7 @@ func selectOne(t *testing.T, c *api.Client, task, target string, seed uint64) *a
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
 	s := seed
-	resp, err := c.Select(ctx, &api.SelectRequest{Task: task, Targets: []string{target}, Seed: &s})
+	resp, err := c.Select(ctx, &api.SelectRequest{Task: task, Targets: []string{target}, SelectOptions: api.SelectOptions{Seed: &s}})
 	if err != nil {
 		t.Fatalf("select %s/%s seed %d: %v", task, target, seed, err)
 	}

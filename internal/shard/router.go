@@ -10,8 +10,17 @@ import (
 	"sync/atomic"
 	"time"
 
+	"twophase/internal/admission"
 	"twophase/internal/api"
 	"twophase/internal/core"
+)
+
+// Hedging defaults: the latency window size and how many samples must
+// accumulate before hedging arms (an unwarmed percentile would hedge on
+// noise).
+const (
+	DefaultHedgeWindow     = 256
+	DefaultHedgeMinSamples = 20
 )
 
 // DefaultReplicas is the owner-set size per (task, seed) key when
@@ -48,6 +57,15 @@ type RouterOptions struct {
 	// http.DefaultClient). It must not impose a global timeout shorter
 	// than a cold offline build.
 	HTTPClient *http.Client
+	// HedgePercentile arms hedged sub-requests: a select sub-request
+	// still in flight past the fleet's recent p-th latency percentile is
+	// raced against the next replica owner, first success wins. Safe
+	// because replicas are bit-identical for the same request (the
+	// determinism suite proves it). 0 disables hedging.
+	HedgePercentile float64
+	// HedgeMinSamples is how many latency samples must accumulate before
+	// hedging arms (0 = DefaultHedgeMinSamples).
+	HedgeMinSamples int
 }
 
 // backendCounters is one backend's routing ledger (atomics).
@@ -72,6 +90,9 @@ type Router struct {
 
 	counters  map[string]*backendCounters
 	failovers int64 // atomic
+	hedges    int64 // atomic: hedged sub-requests fired
+	hedgeWins int64 // atomic: hedges whose response was the one used
+	latency   *admission.Window
 }
 
 // NewRouter builds a router over a fixed backend set. Start begins health
@@ -87,11 +108,15 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
+	if opts.HedgeMinSamples <= 0 {
+		opts.HedgeMinSamples = DefaultHedgeMinSamples
+	}
 	r := &Router{
 		ring:     ring,
 		clients:  make(map[string]*api.Client, len(opts.Backends)),
 		counters: make(map[string]*backendCounters, len(opts.Backends)),
 		opts:     opts,
+		latency:  admission.NewWindow(DefaultHedgeWindow),
 	}
 	for _, b := range opts.Backends {
 		r.clients[b] = api.NewClient(b, opts.HTTPClient)
@@ -166,16 +191,13 @@ func (r *Router) liveFirst(owners []string) (ordered []string, alive int) {
 }
 
 // retryable reports whether a backend failure may succeed on another
-// replica. Deterministic request rejections (bad request, unknown
-// task/target, seed policy) fail identically everywhere; a cancellation
-// is the caller's own. Everything else — connection errors, 5xx —
-// is worth a failover.
+// replica. The contract's own predicate decides for typed errors
+// (unavailable, rate-limited, overloaded are transient; contract
+// rejections and cancellations fail identically everywhere); an untyped
+// failure — a connection error, a 5xx — is node-local and worth a
+// failover.
 func retryable(err error) bool {
-	return !errors.Is(err, api.ErrBadRequest) &&
-		!errors.Is(err, api.ErrUnknownTask) &&
-		!errors.Is(err, api.ErrUnknownTarget) &&
-		!errors.Is(err, api.ErrSeedRejected) &&
-		!errors.Is(err, api.ErrCanceled)
+	return api.Retryable(err) || api.Code(err) == api.CodeInternal
 }
 
 // forward sends one sub-request down a candidate list, failing over on
@@ -212,6 +234,125 @@ func (r *Router) forward(ctx context.Context, candidates []string, send func(ctx
 	return "", "", fmt.Errorf("%w: all %d candidate backends failed, last: %v", api.ErrUnavailable, len(candidates), lastErr)
 }
 
+// attempt is one backend's answer to a select sub-request.
+type attempt struct {
+	node, instance string
+	resp           *api.SelectResponse
+	err            error
+}
+
+// attemptOne sends a select sub-request to one backend, recording its
+// routing counters, its latency on success, and its health on transport
+// failure. An error observed after the caller's context died (including a
+// hedge race loser canceled by the winner) is not charged as a backend
+// failure.
+func (r *Router) attemptOne(ctx context.Context, node string, sub *api.SelectRequest) attempt {
+	atomic.AddInt64(&r.counters[node].requests, 1)
+	var instance string
+	start := time.Now()
+	resp, err := r.clients[node].Select(api.WithInstanceCapture(ctx, &instance), sub)
+	if err == nil {
+		r.latency.Observe(time.Since(start))
+		return attempt{node: node, instance: instance, resp: resp}
+	}
+	if retryable(err) && ctx.Err() == nil {
+		atomic.AddInt64(&r.counters[node].failures, 1)
+		// Feed the failure into membership so the request path and the
+		// probe loop converge on one health view — but only transport
+		// failures: a decoded 5xx body came from a live, reachable
+		// process (one broken target must not flap the whole node down).
+		var ue *url.Error
+		if errors.As(err, &ue) {
+			r.members.ReportFailure(node)
+		}
+	}
+	return attempt{node: node, err: err}
+}
+
+// hedgeDelay reports the armed hedging trigger: the fleet's recent p-th
+// latency percentile, once enough samples accumulated. ok is false while
+// hedging is disabled or unwarmed.
+func (r *Router) hedgeDelay() (time.Duration, bool) {
+	if r.opts.HedgePercentile <= 0 || r.latency.Len() < r.opts.HedgeMinSamples {
+		return 0, false
+	}
+	return r.latency.Percentile(r.opts.HedgePercentile)
+}
+
+// hedgedPair races primary against secondary: the secondary fires only
+// when the primary is still in flight past `delay`. The first success
+// wins and the loser's request is canceled, so the caller always gets
+// exactly one report — replicas are bit-identical for the same request,
+// which is what makes racing them safe. launched reports whether the
+// hedge actually fired (the pair then consumed both candidates).
+func (r *Router) hedgedPair(ctx context.Context, primary, secondary string, delay time.Duration, sub *api.SelectRequest) (res attempt, launched bool) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan attempt, 2) // buffered: the loser must never block
+	go func() { ch <- r.attemptOne(hctx, primary, sub) }()
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	var first attempt
+	select {
+	case first = <-ch:
+	case <-timer.C:
+		atomic.AddInt64(&r.hedges, 1)
+		launched = true
+		go func() { ch <- r.attemptOne(hctx, secondary, sub) }()
+		first = <-ch
+	}
+	if first.err == nil {
+		if launched && first.node == secondary {
+			atomic.AddInt64(&r.hedgeWins, 1)
+		}
+		return first, launched
+	}
+	if launched {
+		// The first finisher failed; the race's other leg may still win.
+		if second := <-ch; second.err == nil {
+			if second.node == secondary {
+				atomic.AddInt64(&r.hedgeWins, 1)
+			}
+			return second, launched
+		}
+	}
+	return first, launched
+}
+
+// forwardSelect drives one select sub-request down a candidate list:
+// failover on retryable errors, plus hedged pairs when the latency
+// window arms them. Hedge traffic is not a failover — the failover
+// counter keeps meaning "a backend failed and another answered".
+func (r *Router) forwardSelect(ctx context.Context, candidates []string, sub *api.SelectRequest) attempt {
+	var lastErr error
+	for i := 0; i < len(candidates); i++ {
+		if i > 0 {
+			atomic.AddInt64(&r.failovers, 1)
+		}
+		var res attempt
+		if delay, ok := r.hedgeDelay(); ok && i+1 < len(candidates) {
+			var launched bool
+			res, launched = r.hedgedPair(ctx, candidates[i], candidates[i+1], delay, sub)
+			if launched {
+				i++ // the pair consumed the next candidate too
+			}
+		} else {
+			res = r.attemptOne(ctx, candidates[i], sub)
+		}
+		if res.err == nil {
+			return res
+		}
+		if !retryable(res.err) || ctx.Err() != nil {
+			// A deterministic rejection or the caller's own cancellation
+			// is not a backend failure.
+			return attempt{err: res.err}
+		}
+		lastErr = res.err
+	}
+	return attempt{err: fmt.Errorf("%w: all %d candidate backends failed, last: %v", api.ErrUnavailable, len(candidates), lastErr)}
+}
+
 // subResult is one scattered sub-request's outcome.
 type subResult struct {
 	indices  []int // original target indices, in sub-request order
@@ -230,11 +371,10 @@ func (r *Router) Select(ctx context.Context, req *api.SelectRequest) (*api.Selec
 	if req == nil {
 		return nil, fmt.Errorf("%w: nil request", api.ErrBadRequest)
 	}
-	if req.Task == "" {
-		return nil, fmt.Errorf("%w: missing task", api.ErrBadRequest)
-	}
-	if len(req.Targets) == 0 {
-		return nil, fmt.Errorf("%w: no targets", api.ErrBadRequest)
+	// The contract's one validation gate, same as the dispatcher and the
+	// HTTP handler: a malformed request dies here, not on a backend.
+	if err := req.Validate(); err != nil {
+		return nil, err
 	}
 	seed := r.routeSeed(req)
 	owners, alive := r.liveFirst(r.Owners(req.Task, seed))
@@ -269,11 +409,8 @@ func (r *Router) Select(ctx context.Context, req *api.SelectRequest) (*api.Selec
 			// Failover order: this slice's assigned owner first, then the
 			// rest of the owner set in priority order.
 			candidates := append([]string{owners[gi]}, deleteAt(owners, gi)...)
-			g.node, g.instance, g.err = r.forward(ctx, candidates, func(ctx context.Context, c *api.Client) error {
-				resp, err := c.Select(ctx, &sub)
-				g.resp = resp
-				return err
-			})
+			res := r.forwardSelect(ctx, candidates, &sub)
+			g.node, g.instance, g.resp, g.err = res.node, res.instance, res.resp, res.err
 		}(gi)
 	}
 	wg.Wait()
@@ -325,6 +462,9 @@ func (r *Router) Select(ctx context.Context, req *api.SelectRequest) (*api.Selec
 			out.Results[idx] = tr
 			if tr.Error != "" {
 				out.Failed++
+			}
+			if tr.Truncated {
+				out.Truncated++
 			}
 		}
 		out.TotalEpochs += g.resp.TotalEpochs
@@ -384,6 +524,8 @@ func (r *Router) Stats(ctx context.Context) (*api.Stats, error) {
 		VNodes:       r.ring.VNodes(),
 		Replicas:     r.opts.Replicas,
 		Failovers:    atomic.LoadInt64(&r.failovers),
+		Hedges:       atomic.LoadInt64(&r.hedges),
+		HedgeWins:    atomic.LoadInt64(&r.hedgeWins),
 		BackendStats: make([]api.BackendStats, len(snap)),
 	}
 	out := &api.Stats{APIVersion: api.Version, Gateway: g}

@@ -20,6 +20,9 @@ type stubBackend struct {
 	instance string
 	srv      *httptest.Server
 	selects  int64 // atomic
+	// delayNS, when set, makes Select sleep before answering (canceled by
+	// ctx) — a slow replica for hedging tests. Atomic nanoseconds.
+	delayNS int64
 	// fail, when set, makes Select return this error.
 	fail atomic.Value // error
 	// truncate, when set, drops the last result from every Select
@@ -32,6 +35,13 @@ type stubBackend struct {
 
 func (b *stubBackend) Select(ctx context.Context, req *api.SelectRequest) (*api.SelectResponse, error) {
 	atomic.AddInt64(&b.selects, 1)
+	if d := time.Duration(atomic.LoadInt64(&b.delayNS)); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
 	if err, _ := b.fail.Load().(error); err != nil {
 		return nil, err
 	}
@@ -180,7 +190,7 @@ func TestRouterRoutingStability(t *testing.T) {
 		for seed := uint64(0); seed < 8; seed++ {
 			s := seed
 			resp, err := r.Select(context.Background(), &api.SelectRequest{
-				Task: "nlp", Targets: []string{"t0"}, Seed: &s,
+				Task: "nlp", Targets: []string{"t0"}, SelectOptions: api.SelectOptions{Seed: &s},
 			})
 			if err != nil {
 				t.Fatal(err)
