@@ -26,7 +26,20 @@
 //	                     (0 = unbounded)
 //	-warm SPEC           pre-build worlds before reporting ready, e.g.
 //	                     "nlp" or "nlp,cv:7" (task at the base seed, or
-//	                     task:seed); healthz answers 503 until done
+//	                     task:seed); healthz answers 503 until done; with
+//	                     -backends, only the worlds this backend owns on
+//	                     the ring are warmed (fleet cold start builds each
+//	                     world once per replica, not once per backend)
+//	-backends URLS       the fleet's backend base URLs, comma-separated
+//	                     and identical on every backend (the gateway's
+//	                     -backends); enables ring-aware warmup and peer
+//	                     artifact fetch over GET /v1/artifacts
+//	-self URL            this backend's own entry in -backends (required
+//	                     with -backends)
+//	-replicas N          ring owners per world; must match the gateway
+//	                     (default 2)
+//	-vnodes N            virtual ring nodes per backend; must match the
+//	                     gateway (default 64)
 //	-seed-policy P       admission policy for per-request seeds: any
 //	                     (default), fixed, allow=1,7,42, or max=N
 //	-instance ID         instance id stamped on responses as X-Instance-Id
@@ -58,6 +71,8 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"slices"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -67,6 +82,7 @@ import (
 	"twophase/internal/core"
 	"twophase/internal/datahub"
 	"twophase/internal/service"
+	"twophase/internal/shard"
 )
 
 type config struct {
@@ -77,6 +93,10 @@ type config struct {
 	concurrency   int
 	cacheSize     int
 	warmSpec      string
+	backends      string
+	self          string
+	replicas      int
+	vnodes        int
 	seedPolicy    string
 	instance      string
 	pprofAddr     string
@@ -97,6 +117,10 @@ func main() {
 	flag.IntVar(&cfg.concurrency, "concurrency", 0, "concurrent selections per batch (0 = one per CPU)")
 	flag.IntVar(&cfg.cacheSize, "cache-size", 0, "max resident frameworks, LRU-evicted beyond it (0 = unbounded)")
 	flag.StringVar(&cfg.warmSpec, "warm", "", `worlds to pre-build before reporting ready, e.g. "nlp,cv:7"`)
+	flag.StringVar(&cfg.backends, "backends", "", "fleet backend base URLs (comma-separated, same list as the gateway)")
+	flag.StringVar(&cfg.self, "self", "", "this backend's entry in -backends")
+	flag.IntVar(&cfg.replicas, "replicas", shard.DefaultReplicas, "ring owners per world (must match the gateway)")
+	flag.IntVar(&cfg.vnodes, "vnodes", shard.DefaultVNodes, "virtual ring nodes per backend (must match the gateway)")
 	flag.StringVar(&cfg.seedPolicy, "seed-policy", "any", "per-request seed admission: any, fixed, allow=..., max=N")
 	flag.StringVar(&cfg.instance, "instance", "", "instance id for the X-Instance-Id header (default: bound address)")
 	flag.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
@@ -116,6 +140,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "apiserver:", err)
 		os.Exit(1)
 	}
+}
+
+// parseBackends splits and sanity-checks the -backends flag; the same
+// normalization the gateway applies, so the two rings agree node-for-node.
+func parseBackends(spec string) ([]string, error) {
+	var out []string
+	for _, b := range strings.Split(spec, ",") {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			continue
+		}
+		if !strings.HasPrefix(b, "http://") && !strings.HasPrefix(b, "https://") {
+			return nil, fmt.Errorf("backend %q is not an http(s) URL", b)
+		}
+		out = append(out, strings.TrimRight(b, "/"))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-backends is required (comma-separated base URLs)")
+	}
+	return out, nil
 }
 
 // run starts the server and blocks until ctx is canceled (then drains
@@ -143,6 +187,32 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
+	// With a fleet membership list, this backend joins the same
+	// consistent-hash ring the gateway routes on: warmup narrows to the
+	// worlds this backend owns, and worlds missing from the local store
+	// are fetched from their ring owners before falling back to a build.
+	var fetch service.ArtifactFetcher
+	if cfg.backends != "" {
+		nodes, err := parseBackends(cfg.backends)
+		if err != nil {
+			return err
+		}
+		self := strings.TrimRight(strings.TrimSpace(cfg.self), "/")
+		if !slices.Contains(nodes, self) {
+			return fmt.Errorf("-self %q must be one of -backends %v", cfg.self, nodes)
+		}
+		if cfg.replicas <= 0 {
+			return fmt.Errorf("-replicas must be positive (got %d)", cfg.replicas)
+		}
+		ring, err := shard.NewRing(nodes, cfg.vnodes)
+		if err != nil {
+			return err
+		}
+		warmKeys = shard.OwnedKeys(warmKeys, ring, self, cfg.replicas)
+		if len(nodes) > 1 {
+			fetch = shard.NewArtifactFetcher(ring, self, cfg.replicas, nil)
+		}
+	}
 	if err := service.ValidateWarmCapacity(warmKeys, cfg.cacheSize); err != nil {
 		return err
 	}
@@ -153,6 +223,7 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 		Concurrency: cfg.concurrency,
 		CacheSize:   cfg.cacheSize,
 		Seeds:       seeds,
+		Fetch:       fetch,
 	})
 	if err != nil {
 		return err
@@ -195,11 +266,17 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 			MaxQueue:    cfg.queue,
 		})
 	}
-	handler := api.NewHandlerWith(api.NewDispatcher(svc, cfg.seed), api.HandlerOptions{
+	hopts := api.HandlerOptions{
 		Ready:     warmed.Load,
 		Instance:  instance,
 		Admission: ctrl,
-	})
+	}
+	// Guard the typed nil: a storeless service must leave the interface
+	// nil so the artifact route stays unmounted.
+	if st := svc.Store(); st != nil {
+		hopts.Artifacts = st
+	}
+	handler := api.NewHandlerWith(api.NewDispatcher(svc, cfg.seed), hopts)
 	log.Printf("apiserver: serving v1 selection API on %s (instance %s, seed %d, cache-size %d, seed-policy %s)",
 		ln.Addr(), instance, cfg.seed, cfg.cacheSize, seeds)
 	if ready != nil {

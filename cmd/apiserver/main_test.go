@@ -95,6 +95,28 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run(context.Background(), bad, nil); err == nil {
 		t.Fatal("warm set larger than cache accepted")
 	}
+	// The fleet-membership flags are validated before anything binds:
+	// -self must name an entry of -backends, the URLs must parse, and
+	// the replica count must be positive.
+	bad = base
+	bad.backends = "http://h1:8080,http://h2:8080"
+	bad.self = "http://h3:8080"
+	if err := run(context.Background(), bad, nil); err == nil {
+		t.Fatal("-self outside -backends accepted")
+	}
+	bad = base
+	bad.backends = "h1:8080"
+	bad.self = "h1:8080"
+	if err := run(context.Background(), bad, nil); err == nil {
+		t.Fatal("non-URL backend accepted")
+	}
+	bad = base
+	bad.backends = "http://h1:8080,http://h2:8080"
+	bad.self = "http://h1:8080"
+	bad.replicas = -1
+	if err := run(context.Background(), bad, nil); err == nil {
+		t.Fatal("negative -replicas accepted")
+	}
 }
 
 // TestWarmupLifecycle boots the server with -warm and a bounded cache:

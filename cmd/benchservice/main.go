@@ -6,6 +6,9 @@
 //     performance matrix, clustering) with an empty artifact store
 //   - warm_start_ms: a second process assembling from the persisted stage
 //     artifacts — the number the staged pipeline exists to shrink
+//   - artifact_load_ms / json_load_ms: decoding the world's stage
+//     documents from the binary artifact codec vs JSON (build_ms is the
+//     build-from-scratch baseline in the same units)
 //   - select_ms_avg/p50/max: online two-phase selection latency on a warm
 //     framework
 //   - cache hit/miss/eviction counts and the hit rate over the run
@@ -25,14 +28,18 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sort"
 	"time"
 
+	"twophase/internal/artifact"
 	"twophase/internal/core"
 	"twophase/internal/datahub"
 	"twophase/internal/modelhub"
+	"twophase/internal/perfmatrix"
+	"twophase/internal/recall"
 	"twophase/internal/service"
 	"twophase/internal/trainer"
 )
@@ -49,6 +56,17 @@ type document struct {
 	WarmStartMillis float64 `json:"warm_start_ms"`
 	WarmSpeedup     float64 `json:"warm_speedup"`
 	WarmBuilds      int     `json:"warm_builds"` // must be 0
+
+	// Artifact codec trajectory: decoding the world's persisted stage
+	// documents (performance matrix + recall) from the binary codec vs
+	// the JSON they used to be stored as, and vs building them from
+	// scratch (build_ms echoes cold_build_ms in comparable units). Both
+	// loads are min-of-N in-memory decodes, so the ratio isolates codec
+	// cost from disk cache noise.
+	ArtifactLoadMillis float64 `json:"artifact_load_ms"`
+	JSONLoadMillis     float64 `json:"json_load_ms"`
+	ArtifactSpeedup    float64 `json:"artifact_speedup"` // json_load / artifact_load
+	BuildMillis        float64 `json:"build_ms"`
 
 	SelectMillisAvg float64 `json:"select_ms_avg"`
 	SelectMillisP50 float64 `json:"select_ms_p50"`
@@ -155,6 +173,15 @@ func run(out, task string, seed uint64, selects int, sizes datahub.Sizes) error 
 	}
 	cache := warm.CacheStats()
 
+	// Codec comparison on the world this run just persisted: the same
+	// matrix + recall documents decoded from the binary artifact codec
+	// and from JSON. min-of-N so a GC pause or scheduler hiccup cannot
+	// fake a regression either way.
+	artifactMillis, jsonMillis, err := benchCodec(warm, task, seed)
+	if err != nil {
+		return err
+	}
+
 	// Epoch throughput: one candidate fine-tuning run (head init +
 	// cached feature lookup + full epoch budget) on the first repository
 	// model and target, after a warmup run primes the shared feature
@@ -183,10 +210,14 @@ func run(out, task string, seed uint64, selects int, sizes datahub.Sizes) error 
 		ColdBuildMillis: coldMillis,
 		WarmStartMillis: warmMillis,
 		WarmBuilds:      warm.Builds(),
-		SelectMillisAvg: sum / float64(len(latencies)),
-		SelectMillisP50: latencies[len(latencies)/2],
-		SelectMillisMax: latencies[len(latencies)-1],
-		SelectEpochs:    epochs / float64(selects),
+
+		ArtifactLoadMillis: artifactMillis,
+		JSONLoadMillis:     jsonMillis,
+		BuildMillis:        coldMillis,
+		SelectMillisAvg:    sum / float64(len(latencies)),
+		SelectMillisP50:    latencies[len(latencies)/2],
+		SelectMillisMax:    latencies[len(latencies)-1],
+		SelectEpochs:       epochs / float64(selects),
 
 		CandidateRunMicros: candidateMicros,
 		FeatureExtractions: modelhub.Extractions(),
@@ -199,6 +230,9 @@ func run(out, task string, seed uint64, selects int, sizes datahub.Sizes) error 
 	}
 	if warmMillis > 0 {
 		doc.WarmSpeedup = coldMillis / warmMillis
+	}
+	if artifactMillis > 0 {
+		doc.ArtifactSpeedup = jsonMillis / artifactMillis
 	}
 	if total := cache.Hits + cache.Misses; total > 0 {
 		doc.CacheHitRate = float64(cache.Hits) / float64(total)
@@ -218,6 +252,79 @@ func run(out, task string, seed uint64, selects int, sizes datahub.Sizes) error 
 	fmt.Printf("benchservice: cold %.0fms -> warm %.0fms (%.1fx), select avg %.0fms, cache hit rate %.2f -> %s\n",
 		doc.ColdBuildMillis, doc.WarmStartMillis, doc.WarmSpeedup, doc.SelectMillisAvg, doc.CacheHitRate, out)
 	return nil
+}
+
+// benchCodec times decoding the world's stage documents (matrix +
+// recall) from the binary artifact codec against decoding the same
+// values from JSON. Both decode from memory; min over several runs.
+func benchCodec(svc *service.Service, task string, seed uint64) (artifactMillis, jsonMillis float64, err error) {
+	key := fmt.Sprintf("%s-seed%d", task, seed)
+	st := svc.Store()
+	m, err := st.GetMatrix(key)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bench codec: %w", err)
+	}
+	rec, err := st.GetRecall(key)
+	if err != nil {
+		return 0, 0, fmt.Errorf("bench codec: %w", err)
+	}
+	binMatrix, err := artifact.EncodeMatrix(m)
+	if err != nil {
+		return 0, 0, err
+	}
+	binRecall, err := artifact.EncodeRecall(rec)
+	if err != nil {
+		return 0, 0, err
+	}
+	jsonMatrix, err := json.Marshal(m)
+	if err != nil {
+		return 0, 0, err
+	}
+	jsonRecall, err := json.Marshal(rec)
+	if err != nil {
+		return 0, 0, err
+	}
+
+	const runs = 9
+	artifactMillis = minOver(runs, func() error {
+		if _, err := artifact.DecodeMatrix(binMatrix); err != nil {
+			return err
+		}
+		_, err := artifact.DecodeRecall(binRecall)
+		return err
+	}, &err)
+	if err != nil {
+		return 0, 0, err
+	}
+	jsonMillis = minOver(runs, func() error {
+		var m2 perfmatrix.Matrix
+		if err := json.Unmarshal(jsonMatrix, &m2); err != nil {
+			return err
+		}
+		var r2 recall.Artifact
+		return json.Unmarshal(jsonRecall, &r2)
+	}, &err)
+	if err != nil {
+		return 0, 0, err
+	}
+	return artifactMillis, jsonMillis, nil
+}
+
+// minOver returns the fastest of n timed executions of fn in
+// milliseconds, recording the first failure in *errOut.
+func minOver(n int, fn func() error, errOut *error) float64 {
+	best := math.Inf(1)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			*errOut = err
+			return 0
+		}
+		if ms := millisSince(start); ms < best {
+			best = ms
+		}
+	}
+	return best
 }
 
 func millisSince(t time.Time) float64 { return float64(time.Since(t).Microseconds()) / 1000 }

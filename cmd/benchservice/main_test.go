@@ -37,6 +37,15 @@ func TestRunEmitsDocument(t *testing.T) {
 	if doc.SelectMillisAvg <= 0 || doc.SelectEpochs <= 0 {
 		t.Fatalf("missing selection metrics: %+v", doc)
 	}
+	if doc.ArtifactLoadMillis <= 0 || doc.JSONLoadMillis <= 0 || doc.BuildMillis != doc.ColdBuildMillis {
+		t.Fatalf("missing codec metrics: %+v", doc)
+	}
+	// The binary codec is the reason warm start stopped JSON-decoding the
+	// world: it must beat JSON by a wide margin (the measured gap at
+	// these sizes is ~10x; 5x is the regression floor).
+	if doc.ArtifactSpeedup < 5 {
+		t.Fatalf("artifact decode only %.1fx faster than JSON, want >= 5x: %+v", doc.ArtifactSpeedup, doc)
+	}
 	if doc.CacheHitRate <= 0 || doc.CacheHitRate >= 1 {
 		// One miss (the warm assemble) plus one hit per selection.
 		t.Fatalf("cache hit rate %v out of (0,1): %+v", doc.CacheHitRate, doc)

@@ -38,8 +38,8 @@ func TestRunEndToEndWithStore(t *testing.T) {
 	if err := run("nlp", "tweet_eval", 42, 5, dir, false, false); err != nil {
 		t.Fatal(err)
 	}
-	// the offline matrix must have been persisted
-	path := filepath.Join(dir, "matrices", "nlp.json")
+	// the offline matrix must have been persisted (binary codec)
+	path := filepath.Join(dir, "matrices", "nlp.bin")
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("store missing matrix: %v", err)
 	}

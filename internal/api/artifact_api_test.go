@@ -1,0 +1,137 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"twophase/internal/artifact"
+	"twophase/internal/core"
+	"twophase/internal/service"
+)
+
+// newStoreDispatcher builds a dispatcher over a store-backed service and
+// serves one selection so the store holds real artifacts.
+func newStoreDispatcher(t *testing.T) (*Dispatcher, *service.Service) {
+	t.Helper()
+	svc, err := service.New(service.Options{
+		Base:     core.Options{Seed: 42, Sizes: tinySizes},
+		StoreDir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(svc, 42)
+	if _, err := d.Select(context.Background(), &SelectRequest{Task: "nlp", Targets: []string{"tweet_eval"}}); err != nil {
+		t.Fatal(err)
+	}
+	return d, svc
+}
+
+// TestArtifactEndpoint exercises the distribution endpoint end to end:
+// a stored world's matrix document round-trips the wire verbatim, the
+// fingerprint rides as a strong ETag, If-None-Match short-circuits to
+// 304, and misses are typed unknown_artifact 404s.
+func TestArtifactEndpoint(t *testing.T) {
+	d, svc := newStoreDispatcher(t)
+	ts := httptest.NewServer(NewHandlerWith(d, HandlerOptions{Artifacts: svc.Store()}))
+	defer ts.Close()
+	c := NewClient(ts.URL, nil)
+	ctx := context.Background()
+
+	want, fp, err := svc.Store().OpenArtifact("matrices", "nlp-seed42")
+	if err != nil {
+		t.Fatalf("store has no matrix artifact: %v", err)
+	}
+	data, notMod, err := c.FetchArtifact(ctx, "matrices", "nlp-seed42", "")
+	if err != nil || notMod {
+		t.Fatalf("fetch: data=%d notMod=%v err=%v", len(data), notMod, err)
+	}
+	if !reflect.DeepEqual(data, want) {
+		t.Fatal("fetched bytes differ from the store's document")
+	}
+	h, err := artifact.Verify(data)
+	if err != nil {
+		t.Fatalf("fetched bytes fail verification: %v", err)
+	}
+	if h.Fingerprint != fp {
+		t.Fatalf("fingerprint %016x, want %016x", h.Fingerprint, fp)
+	}
+	if m, err := artifact.DecodeMatrix(data); err != nil || m == nil {
+		t.Fatalf("fetched matrix does not decode: %v", err)
+	}
+
+	// A matching ETag answers 304 with no body.
+	data, notMod, err = c.FetchArtifact(ctx, "matrices", "nlp-seed42", fmt.Sprintf("%016x", fp))
+	if err != nil || !notMod || data != nil {
+		t.Fatalf("conditional fetch: data=%d notMod=%v err=%v, want 304", len(data), notMod, err)
+	}
+	// A stale ETag re-sends the document.
+	data, notMod, err = c.FetchArtifact(ctx, "matrices", "nlp-seed42", "0000000000000000")
+	if err != nil || notMod || len(data) == 0 {
+		t.Fatalf("stale-etag fetch: data=%d notMod=%v err=%v, want full body", len(data), notMod, err)
+	}
+
+	// The recall document is served too.
+	if data, _, err := c.FetchArtifact(ctx, "recalls", "nlp-seed42", ""); err != nil {
+		t.Fatalf("recall fetch: %v", err)
+	} else if a, err := artifact.DecodeRecall(data); err != nil || a == nil {
+		t.Fatalf("fetched recall does not decode: %v", err)
+	}
+
+	// Misses are typed 404s on every axis: unknown name, unknown kind.
+	for _, tc := range [][2]string{{"matrices", "nlp-seed99"}, {"tables", "nlp-seed42"}} {
+		_, _, err := c.FetchArtifact(ctx, tc[0], tc[1], "")
+		if !errors.Is(err, ErrUnknownArtifact) {
+			t.Errorf("fetch %s/%s: got %v, want ErrUnknownArtifact", tc[0], tc[1], err)
+		}
+		if HTTPStatus(err) != http.StatusNotFound || Code(err) != CodeUnknownArtifact {
+			t.Errorf("fetch %s/%s: status %d code %s, want 404 unknown_artifact", tc[0], tc[1], HTTPStatus(err), Code(err))
+		}
+	}
+}
+
+// TestArtifactEndpointNotMounted verifies a handler with no artifact
+// source 404s the route rather than panicking on a nil interface.
+func TestArtifactEndpointNotMounted(t *testing.T) {
+	d, _ := newTestDispatcher(t)
+	ts := httptest.NewServer(NewHandler(d))
+	defer ts.Close()
+	res, err := http.Get(ts.URL + "/v1/artifacts/matrices/nlp-seed42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", res.StatusCode)
+	}
+}
+
+// TestArtifactStatsOnStats verifies the dispatcher surfaces artifact
+// counters exactly when a store is configured.
+func TestArtifactStatsOnStats(t *testing.T) {
+	d, _ := newStoreDispatcher(t)
+	st, err := d.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Artifacts == nil {
+		t.Fatal("store-backed stats missing artifacts block")
+	}
+	if st.Artifacts.FallbackBuilds != 1 {
+		t.Fatalf("fallback_builds = %d, want 1 (cold store forced one build)", st.Artifacts.FallbackBuilds)
+	}
+
+	plain, _ := newTestDispatcher(t)
+	st, err = plain.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Artifacts != nil {
+		t.Fatal("storeless stats should omit the artifacts block")
+	}
+}

@@ -106,6 +106,44 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	return &resp, nil
 }
 
+// FetchArtifact downloads one binary artifact document from the
+// server's /v1/artifacts endpoint. kind is the store kind ("matrices",
+// "recalls", "frames"); name is the store key (e.g. "nlp-seed42"). A
+// non-empty etag (a prior fingerprint formatted "%016x") rides
+// If-None-Match; a 304 returns notModified=true with nil data. The
+// returned bytes are the verbatim codec document — the caller verifies
+// the embedded checksums before trusting them.
+func (c *Client) FetchArtifact(ctx context.Context, kind, name, etag string) (data []byte, notModified bool, err error) {
+	path := "/v1/artifacts/" + url.PathEscape(kind) + "/" + url.PathEscape(name)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("api: build request: %w", err)
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", fmt.Sprintf("%q", etag))
+	}
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, classify(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode == http.StatusNotModified {
+		return nil, true, nil
+	}
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		return nil, false, fmt.Errorf("api: read artifact: %w", err)
+	}
+	if res.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, false, errFromCode(e.Code, e.Error, time.Duration(e.RetryAfterMS)*time.Millisecond)
+		}
+		return nil, false, fmt.Errorf("api: GET %s: unexpected status %d: %s", path, res.StatusCode, strings.TrimSpace(string(body)))
+	}
+	return body, false, nil
+}
+
 // Health checks the server's liveness endpoint.
 func (c *Client) Health(ctx context.Context) error {
 	_, err := c.Healthz(ctx)

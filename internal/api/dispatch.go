@@ -165,5 +165,14 @@ func (d *Dispatcher) Stats(context.Context) (*Stats, error) {
 		st.PersistDegraded = true
 		st.PersistError = err.Error()
 	}
+	if d.svc.Store() != nil {
+		a := d.svc.ArtifactStats()
+		st.Artifacts = &ArtifactStats{
+			Hits:           a.Hits,
+			Fetches:        a.Fetches,
+			FetchFailures:  a.FetchFailures,
+			FallbackBuilds: a.FallbackBuilds,
+		}
+	}
 	return st, nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"twophase/internal/datahub"
 	"twophase/internal/service"
+	"twophase/internal/store"
 )
 
 // Typed, HTTP-mappable errors of the v1 contract. Every error the
@@ -41,6 +42,11 @@ var (
 	// ErrOverloaded marks a request shed because the admission queue was
 	// full (HTTP 503). Transient: retry after the Retry-After hint.
 	ErrOverloaded = errors.New("api: overloaded")
+	// ErrUnknownArtifact marks an artifact-distribution request for a
+	// kind/name this backend does not hold (or a backend with no store at
+	// all). The fetching peer falls back to its next replica or a local
+	// build; it is a routine miss, not a failure.
+	ErrUnknownArtifact = errors.New("api: unknown artifact")
 )
 
 // Error is the structured wire error of the v1.1 contract: a machine
@@ -100,8 +106,11 @@ func classify(err error) error {
 	case errors.Is(err, ErrBadRequest), errors.Is(err, ErrUnknownTask),
 		errors.Is(err, ErrUnknownTarget), errors.Is(err, ErrCanceled),
 		errors.Is(err, ErrSeedRejected), errors.Is(err, ErrUnavailable),
-		errors.Is(err, ErrRateLimited), errors.Is(err, ErrOverloaded):
+		errors.Is(err, ErrRateLimited), errors.Is(err, ErrOverloaded),
+		errors.Is(err, ErrUnknownArtifact):
 		return err
+	case errors.Is(err, store.ErrNotFound):
+		return fmt.Errorf("%w: %v", ErrUnknownArtifact, err)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return fmt.Errorf("%w: %v", ErrCanceled, err)
 	case errors.Is(err, service.ErrUnknownTask):
@@ -122,7 +131,8 @@ func HTTPStatus(err error) int {
 		return http.StatusOK
 	case errors.Is(err, ErrBadRequest):
 		return http.StatusBadRequest
-	case errors.Is(err, ErrUnknownTask), errors.Is(err, ErrUnknownTarget):
+	case errors.Is(err, ErrUnknownTask), errors.Is(err, ErrUnknownTarget),
+		errors.Is(err, ErrUnknownArtifact):
 		return http.StatusNotFound
 	case errors.Is(err, ErrSeedRejected):
 		return http.StatusForbidden
@@ -148,7 +158,9 @@ const (
 	CodeUnavailable   = "unavailable"
 	CodeRateLimited   = "rate_limited"
 	CodeOverloaded    = "overloaded"
-	CodeInternal      = "internal"
+	// CodeUnknownArtifact is the 404 of the artifact-distribution tier.
+	CodeUnknownArtifact = "unknown_artifact"
+	CodeInternal        = "internal"
 )
 
 // Code returns the wire code for a contract error.
@@ -170,6 +182,8 @@ func Code(err error) string {
 		return CodeRateLimited
 	case errors.Is(err, ErrOverloaded):
 		return CodeOverloaded
+	case errors.Is(err, ErrUnknownArtifact):
+		return CodeUnknownArtifact
 	default:
 		return CodeInternal
 	}
@@ -198,6 +212,8 @@ func sentinelOf(code string) error {
 		return ErrRateLimited
 	case CodeOverloaded:
 		return ErrOverloaded
+	case CodeUnknownArtifact:
+		return ErrUnknownArtifact
 	default:
 		return nil
 	}

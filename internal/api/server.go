@@ -49,6 +49,20 @@ type HandlerOptions struct {
 	// other endpoints are never gated — health and stats must answer
 	// precisely when the service is saturated.
 	Admission *admission.Controller
+	// Artifacts, when non-nil, mounts GET /v1/artifacts/{kind}/{name}:
+	// the binary-artifact distribution endpoint ring peers use to fetch a
+	// world instead of rebuilding it. Responses are raw artifact bytes
+	// (the codec's header carries its own checksums) with the input
+	// fingerprint as a strong ETag, so If-None-Match short-circuits
+	// unchanged artifacts to 304.
+	Artifacts ArtifactSource
+}
+
+// ArtifactSource serves verified binary artifact documents by kind and
+// store key. *store.Store satisfies it; an absent artifact must surface
+// as store.ErrNotFound so the handler can answer a typed 404.
+type ArtifactSource interface {
+	OpenArtifact(kind, name string) ([]byte, uint64, error)
 }
 
 // NewHandler mounts the v1 contract on an http.Handler:
@@ -119,6 +133,25 @@ func NewHandlerWith(a API, opts HandlerOptions) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, Health{Status: "ok", Instance: opts.Instance})
 	})
+	if opts.Artifacts != nil {
+		mux.HandleFunc("GET /v1/artifacts/{kind}/{name}", func(w http.ResponseWriter, r *http.Request) {
+			kind, name := r.PathValue("kind"), r.PathValue("name")
+			data, fp, err := opts.Artifacts.OpenArtifact(kind, name)
+			if err != nil {
+				writeError(w, classify(err))
+				return
+			}
+			etag := fmt.Sprintf("%q", fmt.Sprintf("%016x", fp))
+			w.Header().Set("ETag", etag)
+			if r.Header.Get("If-None-Match") == etag {
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+			_, _ = w.Write(data)
+		})
+	}
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		resp, err := a.Stats(r.Context())
 		if err != nil {

@@ -202,6 +202,27 @@ type Stats struct {
 	// Admission is set when the serving process fronts /v1/select with an
 	// admission controller: rate-limit/shed counters and queue gauges.
 	Admission *AdmissionStats `json:"admission,omitempty"`
+	// Artifacts is set when the serving process has an artifact store:
+	// counters for the binary-artifact warm/fetch/build paths. On a
+	// gateway they are fleet-wide sums across backends.
+	Artifacts *ArtifactStats `json:"artifacts,omitempty"`
+}
+
+// ArtifactStats is the binary-artifact subsystem's observability
+// snapshot: how worlds came to be resident in this process.
+type ArtifactStats struct {
+	// Hits counts worlds assembled from artifacts already in the local
+	// store (warm starts with zero training).
+	Hits int64 `json:"artifact_hits"`
+	// Fetches counts artifact documents fetched from ring peers and
+	// verified (a world fetch counts its matrix and recall separately).
+	Fetches int64 `json:"artifact_fetches"`
+	// FetchFailures counts world fetches that failed end to end and fell
+	// back to a local build.
+	FetchFailures int64 `json:"fetch_failures"`
+	// FallbackBuilds counts offline builds executed despite a configured
+	// store — the world was absent locally and not fetchable.
+	FallbackBuilds int64 `json:"fallback_builds"`
 }
 
 // AdmissionStats is the admission controller's observability snapshot.

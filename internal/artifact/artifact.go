@@ -1,0 +1,405 @@
+// Package artifact is the binary, versioned, checksummed encoding of the
+// offline world artifacts — performance matrices, recall (clustering)
+// artifacts and numeric feature frames. It exists because cold start is
+// dominated by JSON decode: the expensive payloads are large float64
+// matrices, and this format stores them as raw row-major little-endian
+// words behind a fixed header, so a warm start is an open + map +
+// fingerprint check instead of a reflective parse.
+//
+// Layout (all integers little-endian):
+//
+//	offset  size  field
+//	0       4     magic "TPAF"
+//	4       2     format version (1)
+//	6       2     kind (1 = matrix, 2 = recall, 3 = frame)
+//	8       8     input fingerprint (CRC-64/ECMA of kind + meta JSON)
+//	16      8     body length in bytes
+//	24      8     body checksum (CRC-64/ECMA)
+//	32      8     header checksum (CRC-64/ECMA of bytes 0..32)
+//	40      -     body
+//
+// The body is a 4-byte meta length, a small JSON meta section carrying
+// names and scalar provenance (task, seed, hyperparameters, split sizes),
+// zero padding to the next 8-byte boundary, then the raw numeric payload:
+// float64 curves for matrices (model-major, dataset-minor, epoch-
+// innermost; validation section then test section), int64 cluster
+// assignments for recall artifacts, row-major float64 data for frames.
+// The fingerprint hashes only the provenance, so it doubles as an HTTP
+// ETag: two backends that built the same deterministic world advertise
+// the same fingerprint.
+//
+// Decoding is strict and total: every length is bounds-checked against
+// the real input before any allocation sized from it, and no input —
+// truncated, bit-flipped, or adversarial — panics or decodes without
+// passing both checksums. Corruption surfaces as ErrCorrupt.
+package artifact
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"math"
+
+	"twophase/internal/datahub"
+	"twophase/internal/numeric"
+	"twophase/internal/perfmatrix"
+	"twophase/internal/recall"
+	"twophase/internal/trainer"
+)
+
+// Kind identifies which world artifact a file encodes.
+type Kind uint16
+
+// The three artifact kinds of the offline pipeline.
+const (
+	KindMatrix Kind = 1
+	KindRecall Kind = 2
+	KindFrame  Kind = 3
+)
+
+// String names the kind for errors and logs.
+func (k Kind) String() string {
+	switch k {
+	case KindMatrix:
+		return "matrix"
+	case KindRecall:
+		return "recall"
+	case KindFrame:
+		return "frame"
+	default:
+		return fmt.Sprintf("kind(%d)", uint16(k))
+	}
+}
+
+const (
+	magic = "TPAF"
+	// FormatVersion is the on-disk format revision; a reader refuses
+	// newer revisions rather than misparse them.
+	FormatVersion = 1
+	// HeaderSize is the fixed byte length of the header.
+	HeaderSize = 40
+)
+
+// ErrCorrupt marks bytes that are not a valid artifact of the expected
+// revision: bad magic, a failed checksum, a truncated body, or internal
+// lengths that disagree with the data. Callers treat it as "rebuild",
+// never as "absent".
+var ErrCorrupt = errors.New("artifact: corrupt")
+
+// crcTable is the CRC-64/ECMA table shared by every checksum here.
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Header is the decoded fixed header.
+type Header struct {
+	Version     uint16
+	Kind        Kind
+	Fingerprint uint64
+	BodyLen     uint64
+	BodyCRC     uint64
+}
+
+// ParseHeader decodes and validates the fixed header: magic, version and
+// the header's own checksum. It does not touch the body.
+func ParseHeader(data []byte) (Header, error) {
+	if len(data) < HeaderSize {
+		return Header{}, fmt.Errorf("%w: %d bytes, header needs %d", ErrCorrupt, len(data), HeaderSize)
+	}
+	if string(data[0:4]) != magic {
+		return Header{}, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[0:4])
+	}
+	if got, want := binary.LittleEndian.Uint64(data[32:40]), crc64.Checksum(data[0:32], crcTable); got != want {
+		return Header{}, fmt.Errorf("%w: header checksum %016x, want %016x", ErrCorrupt, got, want)
+	}
+	h := Header{
+		Version:     binary.LittleEndian.Uint16(data[4:6]),
+		Kind:        Kind(binary.LittleEndian.Uint16(data[6:8])),
+		Fingerprint: binary.LittleEndian.Uint64(data[8:16]),
+		BodyLen:     binary.LittleEndian.Uint64(data[16:24]),
+		BodyCRC:     binary.LittleEndian.Uint64(data[24:32]),
+	}
+	if h.Version != FormatVersion {
+		return Header{}, fmt.Errorf("%w: format version %d, reader speaks %d", ErrCorrupt, h.Version, FormatVersion)
+	}
+	return h, nil
+}
+
+// Verify validates the whole encoding — header, body length and body
+// checksum — and returns the header. It is the gate every decode and
+// every fetched-over-the-wire artifact passes before any content is
+// trusted.
+func Verify(data []byte) (Header, error) {
+	h, err := ParseHeader(data)
+	if err != nil {
+		return Header{}, err
+	}
+	if h.BodyLen != uint64(len(data)-HeaderSize) {
+		return Header{}, fmt.Errorf("%w: body length %d, have %d bytes", ErrCorrupt, h.BodyLen, len(data)-HeaderSize)
+	}
+	if got := crc64.Checksum(data[HeaderSize:], crcTable); got != h.BodyCRC {
+		return Header{}, fmt.Errorf("%w: body checksum %016x, want %016x", ErrCorrupt, got, h.BodyCRC)
+	}
+	return h, nil
+}
+
+// pad8 rounds n up to the next multiple of 8 so the numeric payload is
+// 8-byte aligned relative to the body start.
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// encode assembles header + meta + payload. payloadWords is the number of
+// 8-byte words the fill callback will write.
+func encode(kind Kind, meta interface{}, payloadWords int, fill func(payload []byte)) ([]byte, error) {
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return nil, fmt.Errorf("artifact: marshal %s meta: %w", kind, err)
+	}
+	payloadOff := pad8(4 + len(metaJSON))
+	body := make([]byte, payloadOff+payloadWords*8)
+	binary.LittleEndian.PutUint32(body[0:4], uint32(len(metaJSON)))
+	copy(body[4:], metaJSON)
+	fill(body[payloadOff:])
+
+	data := make([]byte, HeaderSize+len(body))
+	copy(data[0:4], magic)
+	binary.LittleEndian.PutUint16(data[4:6], FormatVersion)
+	binary.LittleEndian.PutUint16(data[6:8], uint16(kind))
+	fp := crc64.Checksum(append([]byte{byte(kind), byte(kind >> 8)}, metaJSON...), crcTable)
+	binary.LittleEndian.PutUint64(data[8:16], fp)
+	binary.LittleEndian.PutUint64(data[16:24], uint64(len(body)))
+	binary.LittleEndian.PutUint64(data[24:32], crc64.Checksum(body, crcTable))
+	binary.LittleEndian.PutUint64(data[32:40], crc64.Checksum(data[0:32], crcTable))
+	copy(data[HeaderSize:], body)
+	return data, nil
+}
+
+// decodeBody verifies data, checks the kind, unmarshals the meta section
+// and returns the aligned numeric payload.
+func decodeBody(data []byte, want Kind, meta interface{}) ([]byte, Header, error) {
+	h, err := Verify(data)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	if h.Kind != want {
+		return nil, Header{}, fmt.Errorf("%w: kind %s, want %s", ErrCorrupt, h.Kind, want)
+	}
+	body := data[HeaderSize:]
+	if len(body) < 4 {
+		return nil, Header{}, fmt.Errorf("%w: body too short for meta length", ErrCorrupt)
+	}
+	metaLen := int(binary.LittleEndian.Uint32(body[0:4]))
+	if metaLen < 0 || metaLen > len(body)-4 {
+		return nil, Header{}, fmt.Errorf("%w: meta length %d exceeds body %d", ErrCorrupt, metaLen, len(body))
+	}
+	if err := json.Unmarshal(body[4:4+metaLen], meta); err != nil {
+		return nil, Header{}, fmt.Errorf("%w: meta: %v", ErrCorrupt, err)
+	}
+	payloadOff := pad8(4 + metaLen)
+	if payloadOff > len(body) {
+		return nil, Header{}, fmt.Errorf("%w: meta padding exceeds body", ErrCorrupt)
+	}
+	return body[payloadOff:], h, nil
+}
+
+// putFloats writes src as little-endian float64 words into dst.
+func putFloats(dst []byte, src []float64) {
+	for i, v := range src {
+		binary.LittleEndian.PutUint64(dst[i*8:], math.Float64bits(v))
+	}
+}
+
+// getFloats reads n little-endian float64 words from src. Zero-length
+// curves decode to nil, matching what a JSON round trip of a nil slice
+// yields — the two paths must produce DeepEqual artifacts.
+func getFloats(src []byte, n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+	return out
+}
+
+// matrixMeta is the provenance half of a matrix encoding; the curves
+// themselves live in the numeric payload.
+type matrixMeta struct {
+	Task     string              `json:"task"`
+	Models   []string            `json:"models"`
+	Datasets []string            `json:"datasets"`
+	Epochs   int                 `json:"epochs"`
+	Seed     uint64              `json:"seed"`
+	HP       trainer.Hyperparams `json:"hp"`
+	Sizes    datahub.Sizes       `json:"sizes"`
+}
+
+// EncodeMatrix encodes a performance matrix. It requires the matrix to be
+// rectangular — an entry for every (model, dataset) pair, every curve of
+// length Epochs — which every matrix the offline pipeline builds is; a
+// ragged matrix errors so the caller can fall back to JSON.
+func EncodeMatrix(m *perfmatrix.Matrix) ([]byte, error) {
+	if m == nil {
+		return nil, fmt.Errorf("artifact: nil matrix")
+	}
+	nM, nD, ep := len(m.Models), len(m.Datasets), m.Epochs
+	if ep < 0 {
+		return nil, fmt.Errorf("artifact: negative epochs %d", ep)
+	}
+	cells := nM * nD
+	for _, model := range m.Models {
+		for _, ds := range m.Datasets {
+			e, err := m.Entry(model, ds)
+			if err != nil {
+				return nil, fmt.Errorf("artifact: ragged matrix: %w", err)
+			}
+			if len(e.Val) != ep || len(e.Test) != ep {
+				return nil, fmt.Errorf("artifact: ragged matrix: %s/%s curves %d/%d, want %d",
+					model, ds, len(e.Val), len(e.Test), ep)
+			}
+		}
+	}
+	meta := matrixMeta{
+		Task: m.Task, Models: m.Models, Datasets: m.Datasets,
+		Epochs: m.Epochs, Seed: m.Seed, HP: m.HP, Sizes: m.Sizes,
+	}
+	return encode(KindMatrix, meta, cells*ep*2, func(payload []byte) {
+		testOff := cells * ep * 8
+		for i, model := range m.Models {
+			for j, ds := range m.Datasets {
+				e, _ := m.Entry(model, ds)
+				off := (i*nD + j) * ep * 8
+				putFloats(payload[off:], e.Val)
+				putFloats(payload[testOff+off:], e.Test)
+			}
+		}
+	})
+}
+
+// DecodeMatrix verifies and decodes a matrix encoding. The result is
+// bit-identical to the matrix that was encoded: float64 words round-trip
+// exactly.
+func DecodeMatrix(data []byte) (*perfmatrix.Matrix, error) {
+	var meta matrixMeta
+	payload, _, err := decodeBody(data, KindMatrix, &meta)
+	if err != nil {
+		return nil, err
+	}
+	nM, nD, ep := len(meta.Models), len(meta.Datasets), meta.Epochs
+	// Bound each dimension before multiplying so a hostile meta section
+	// cannot overflow the size check into a giant allocation.
+	if ep < 0 || ep > 1<<24 || nM > 1<<20 || nD > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible matrix shape %dx%dx%d", ErrCorrupt, nM, nD, ep)
+	}
+	words := uint64(nM) * uint64(nD) * uint64(ep) * 2
+	if words*8 != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: matrix payload %d bytes, shape %dx%dx%d needs %d",
+			ErrCorrupt, len(payload), nM, nD, ep, words*8)
+	}
+	m := &perfmatrix.Matrix{
+		Task: meta.Task, Models: meta.Models, Datasets: meta.Datasets,
+		Epochs: meta.Epochs, Seed: meta.Seed, HP: meta.HP, Sizes: meta.Sizes,
+		Entries: make(map[string]*perfmatrix.Entry, nM*nD),
+	}
+	testOff := nM * nD * ep * 8
+	for i, model := range meta.Models {
+		for j, ds := range meta.Datasets {
+			off := (i*nD + j) * ep * 8
+			m.Entries[model+"\x00"+ds] = &perfmatrix.Entry{
+				Model: model, Dataset: ds,
+				Val:  getFloats(payload[off:], ep),
+				Test: getFloats(payload[testOff+off:], ep),
+			}
+		}
+	}
+	return m, nil
+}
+
+// recallMeta is the provenance half of a recall encoding; the cluster
+// assignment vector lives in the numeric payload.
+type recallMeta struct {
+	Task        string   `json:"task"`
+	Seed        uint64   `json:"seed"`
+	SimilarityK int      `json:"similarity_k"`
+	Threshold   float64  `json:"threshold"`
+	Scorer      string   `json:"scorer"`
+	Models      []string `json:"models"`
+	Clusters    int      `json:"clusters"`
+	AssignLen   int      `json:"assign_len"`
+}
+
+// EncodeRecall encodes a clustering-stage artifact.
+func EncodeRecall(a *recall.Artifact) ([]byte, error) {
+	if a == nil {
+		return nil, fmt.Errorf("artifact: nil recall artifact")
+	}
+	meta := recallMeta{
+		Task: a.Task, Seed: a.Seed, SimilarityK: a.SimilarityK,
+		Threshold: a.Threshold, Scorer: a.Scorer, Models: a.Models,
+		Clusters: a.Clusters, AssignLen: len(a.Assign),
+	}
+	return encode(KindRecall, meta, len(a.Assign), func(payload []byte) {
+		for i, v := range a.Assign {
+			binary.LittleEndian.PutUint64(payload[i*8:], uint64(int64(v)))
+		}
+	})
+}
+
+// DecodeRecall verifies and decodes a recall encoding.
+func DecodeRecall(data []byte) (*recall.Artifact, error) {
+	var meta recallMeta
+	payload, _, err := decodeBody(data, KindRecall, &meta)
+	if err != nil {
+		return nil, err
+	}
+	if meta.AssignLen < 0 || uint64(meta.AssignLen)*8 != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: recall payload %d bytes, assign length %d needs %d",
+			ErrCorrupt, len(payload), meta.AssignLen, meta.AssignLen*8)
+	}
+	var assign []int
+	if meta.AssignLen > 0 {
+		assign = make([]int, meta.AssignLen)
+		for i := range assign {
+			assign[i] = int(int64(binary.LittleEndian.Uint64(payload[i*8:])))
+		}
+	}
+	return &recall.Artifact{
+		Task: meta.Task, Seed: meta.Seed, SimilarityK: meta.SimilarityK,
+		Threshold: meta.Threshold, Scorer: meta.Scorer, Models: meta.Models,
+		Assign: assign, Clusters: meta.Clusters,
+	}, nil
+}
+
+// frameMeta is the shape of a frame encoding; Data is the payload.
+type frameMeta struct {
+	N int `json:"n"`
+	D int `json:"d"`
+}
+
+// EncodeFrame encodes a numeric frame: the payload is the frame's
+// row-major data verbatim, so the encoding is exactly mmap-shaped.
+func EncodeFrame(f *numeric.Frame) ([]byte, error) {
+	if f == nil {
+		return nil, fmt.Errorf("artifact: nil frame")
+	}
+	if len(f.Data) != f.N*f.D {
+		return nil, fmt.Errorf("artifact: frame data %d, shape %dx%d", len(f.Data), f.N, f.D)
+	}
+	return encode(KindFrame, frameMeta{N: f.N, D: f.D}, len(f.Data), func(payload []byte) {
+		putFloats(payload, f.Data)
+	})
+}
+
+// DecodeFrame verifies and decodes a frame encoding.
+func DecodeFrame(data []byte) (*numeric.Frame, error) {
+	var meta frameMeta
+	payload, _, err := decodeBody(data, KindFrame, &meta)
+	if err != nil {
+		return nil, err
+	}
+	if meta.N < 0 || meta.D < 0 || meta.N > 1<<31 || meta.D > 1<<31 ||
+		uint64(meta.N)*uint64(meta.D)*8 != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: frame payload %d bytes, shape %dx%d", ErrCorrupt, len(payload), meta.N, meta.D)
+	}
+	return &numeric.Frame{N: meta.N, D: meta.D, Data: getFloats(payload, meta.N*meta.D)}, nil
+}

@@ -1,0 +1,246 @@
+package artifact
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"twophase/internal/datahub"
+	"twophase/internal/numeric"
+	"twophase/internal/perfmatrix"
+	"twophase/internal/recall"
+	"twophase/internal/trainer"
+)
+
+// testMatrix builds a small deterministic matrix with awkward float
+// values (denormals, negatives, values that lose digits in decimal).
+func testMatrix(rng *rand.Rand, nM, nD, ep int) *perfmatrix.Matrix {
+	m := &perfmatrix.Matrix{
+		Task:    "nlp",
+		Epochs:  ep,
+		Seed:    42,
+		HP:      trainer.Hyperparams{LearningRate: 0.1, BatchSize: 8, Epochs: ep, L2: 1e-4},
+		Sizes:   datahub.Sizes{Train: 60, Val: 40, Test: 48},
+		Entries: map[string]*perfmatrix.Entry{},
+	}
+	for i := 0; i < nM; i++ {
+		m.Models = append(m.Models, "model_"+string(rune('a'+i)))
+	}
+	for j := 0; j < nD; j++ {
+		m.Datasets = append(m.Datasets, "data/"+string(rune('a'+j)))
+	}
+	for _, model := range m.Models {
+		for _, ds := range m.Datasets {
+			e := &perfmatrix.Entry{Model: model, Dataset: ds}
+			for k := 0; k < ep; k++ {
+				e.Val = append(e.Val, rng.Float64()/3)
+				e.Test = append(e.Test, rng.NormFloat64()*1e-300)
+			}
+			m.Entries[model+"\x00"+ds] = e
+		}
+	}
+	return m
+}
+
+// TestMatrixRoundTrip is the property test against the JSON path: the
+// binary codec must reproduce exactly the matrix a JSON round trip
+// reproduces, bit for bit, across random shapes and values.
+func TestMatrixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		m := testMatrix(rng, 1+rng.Intn(5), 1+rng.Intn(5), rng.Intn(6))
+		data, err := EncodeMatrix(m)
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		got, err := DecodeMatrix(data)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		jdata, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaJSON perfmatrix.Matrix
+		if err := json.Unmarshal(jdata, &viaJSON); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, &viaJSON) {
+			t.Fatalf("trial %d: binary and JSON round trips disagree:\n%+v\nvs\n%+v", trial, got, &viaJSON)
+		}
+		for _, model := range m.Models {
+			for _, ds := range m.Datasets {
+				want, _ := m.Entry(model, ds)
+				have, err := got.Entry(model, ds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k := range want.Val {
+					if math.Float64bits(want.Val[k]) != math.Float64bits(have.Val[k]) ||
+						math.Float64bits(want.Test[k]) != math.Float64bits(have.Test[k]) {
+						t.Fatalf("trial %d: %s/%s epoch %d not bit-identical", trial, model, ds, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRecallRoundTrip(t *testing.T) {
+	a := &recall.Artifact{
+		Task: "cv", Seed: 7, SimilarityK: 5, Threshold: 0.08,
+		Scorer: "calibrated-leep", Models: []string{"m1", "m2", "m3"},
+		Assign: []int{0, -1, 2}, Clusters: 3,
+	}
+	data, err := EncodeRecall(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRecall(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, a) {
+		t.Fatalf("recall round trip drifted:\n%+v\nvs\n%+v", got, a)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := numeric.NewFrame(3, 4)
+	for i := range f.Data {
+		f.Data[i] = float64(i) * 0.1
+	}
+	data, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeFrame(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, f) {
+		t.Fatalf("frame round trip drifted: %+v vs %+v", got, f)
+	}
+}
+
+// TestFingerprintIsProvenance pins the fingerprint contract: same
+// provenance, same fingerprint — across separate encodes — and changed
+// provenance changes it. The fleet uses it as an HTTP ETag.
+func TestFingerprintIsProvenance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := testMatrix(rng, 3, 2, 4)
+	a, _ := EncodeMatrix(m)
+	b, _ := EncodeMatrix(m)
+	ha, err := Verify(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := Verify(b)
+	if ha.Fingerprint != hb.Fingerprint {
+		t.Fatal("same matrix encoded twice changed fingerprint")
+	}
+	m2 := testMatrix(rng, 3, 2, 4)
+	m2.Seed = 43
+	c, _ := EncodeMatrix(m2)
+	hc, _ := Verify(c)
+	if hc.Fingerprint == ha.Fingerprint {
+		t.Fatal("different seed kept the fingerprint")
+	}
+}
+
+// TestEncodeMatrixRejectsRagged: matrices with missing entries or
+// short curves must refuse binary encoding (the store falls back to
+// JSON) rather than silently drop data.
+func TestEncodeMatrixRejectsRagged(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := testMatrix(rng, 2, 2, 3)
+	delete(m.Entries, m.Models[0]+"\x00"+m.Datasets[1])
+	if _, err := EncodeMatrix(m); err == nil {
+		t.Fatal("matrix with missing entry encoded")
+	}
+	m = testMatrix(rng, 2, 2, 3)
+	m.Entries[m.Models[0]+"\x00"+m.Datasets[0]].Val = []float64{1}
+	if _, err := EncodeMatrix(m); err == nil {
+		t.Fatal("matrix with short curve encoded")
+	}
+}
+
+// TestCorruptionNeverPassesChecksum flips every byte of a valid encoding
+// (one at a time) and truncates it at every length: Verify must fail each
+// time, and every decode must error instead of returning data.
+func TestCorruptionNeverPassesChecksum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := testMatrix(rng, 2, 2, 2)
+	data, err := EncodeMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, err := Verify(mut); err == nil {
+			t.Fatalf("bit flip at byte %d passed Verify", i)
+		}
+		if _, err := DecodeMatrix(mut); err == nil {
+			t.Fatalf("bit flip at byte %d decoded", i)
+		}
+	}
+	for n := 0; n < len(data); n++ {
+		if _, err := Verify(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes passed Verify", n)
+		}
+		if _, err := DecodeMatrix(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes decoded", n)
+		}
+	}
+}
+
+// TestDecodeWrongKind: a valid encoding of one kind must not decode as
+// another.
+func TestDecodeWrongKind(t *testing.T) {
+	f := numeric.NewFrame(2, 2)
+	data, err := EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMatrix(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("frame decoded as matrix: %v", err)
+	}
+	if _, err := DecodeRecall(data); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("frame decoded as recall: %v", err)
+	}
+}
+
+// TestMapFile exercises the mmap read path against a real file.
+func TestMapFile(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := testMatrix(rng, 2, 3, 4)
+	data, err := EncodeMatrix(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.bin")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mapped, release, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	got, err := DecodeMatrix(mapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Entries, m.Entries) {
+		t.Fatal("mmap-decoded matrix drifted")
+	}
+	if _, _, err := MapFile(filepath.Join(t.TempDir(), "absent.bin")); !os.IsNotExist(err) {
+		t.Fatalf("missing file: %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+//go:build linux
+
+package artifact
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// MapFile maps an artifact file read-only and returns its bytes plus an
+// unmap closure. Decoding copies the numeric payload out, so callers hold
+// the mapping only for the duration of a decode — the page cache then
+// backs every process on the host with one copy of the artifact. Empty
+// files (and platforms without mmap, via the fallback file) degrade to a
+// plain read.
+func MapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := info.Size()
+	if size == 0 {
+		return nil, func() {}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("artifact: %s: %d bytes exceeds address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support still serve reads.
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return data, func() {}, nil
+	}
+	return data, func() { _ = syscall.Munmap(data) }, nil
+}

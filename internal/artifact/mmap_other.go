@@ -1,0 +1,15 @@
+//go:build !linux
+
+package artifact
+
+import "os"
+
+// MapFile reads an artifact file whole on platforms without the mmap fast
+// path; the contract (bytes + release closure) is identical.
+func MapFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() {}, nil
+}

@@ -1,0 +1,82 @@
+package core_test
+
+// Golden bit-identity for the FETCHED artifact path: a world whose stage
+// artifacts round-tripped through the binary codec — exactly what a ring
+// peer receives over GET /v1/artifacts — must select byte-for-byte like
+// the locally built world. This pins the fleet-distribution invariant
+// (fetched == built) against the same fixtures the build path answers to,
+// without any HTTP in the loop.
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"twophase/internal/artifact"
+	"twophase/internal/core"
+	"twophase/internal/datahub"
+)
+
+func TestGoldenSelectReportsFromFetchedArtifacts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden suite builds full frameworks")
+	}
+	strategies := []core.Strategy{core.StrategyTwoPhase, core.StrategySH, core.StrategyBF, core.StrategyEnsemble}
+	for _, task := range []string{datahub.TaskNLP, datahub.TaskCV} {
+		for _, seed := range []uint64{0, 7} {
+			opts := core.Options{Task: task, Seed: seed, Sizes: goldenSizes}
+			built, err := core.Build(opts)
+			if err != nil {
+				t.Fatalf("build %s/%d: %v", task, seed, err)
+			}
+
+			// Encode the built world's stage artifacts and decode them
+			// back — the wire round trip, minus the wire.
+			matrixDoc, err := artifact.EncodeMatrix(built.Matrix)
+			if err != nil {
+				t.Fatalf("encode matrix %s/%d: %v", task, seed, err)
+			}
+			recallDoc, err := artifact.EncodeRecall(built.RecallArtifact())
+			if err != nil {
+				t.Fatalf("encode recall %s/%d: %v", task, seed, err)
+			}
+			m, err := artifact.DecodeMatrix(matrixDoc)
+			if err != nil {
+				t.Fatalf("decode matrix %s/%d: %v", task, seed, err)
+			}
+			rec, err := artifact.DecodeRecall(recallDoc)
+			if err != nil {
+				t.Fatalf("decode recall %s/%d: %v", task, seed, err)
+			}
+			fetched, err := core.AssembleArtifacts(opts, core.Artifacts{Matrix: m, Recall: rec})
+			if err != nil {
+				t.Fatalf("assemble %s/%d: %v", task, seed, err)
+			}
+			if !fetched.Stages.RecallLoaded {
+				t.Fatalf("%s/%d: decoded recall artifact was rebuilt, not loaded", task, seed)
+			}
+
+			target := fetched.Catalog.Targets()[0]
+			for _, strat := range strategies {
+				report, err := fetched.SelectWith(context.Background(), target, core.SelectOptions{Strategy: strat})
+				if err != nil {
+					t.Fatalf("select %s/%d/%s: %v", task, seed, strat, err)
+				}
+				got, err := json.MarshalIndent(renderGolden(report), "", " ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				got = append(got, '\n')
+				want, err := os.ReadFile(goldenPath(task, seed, strat))
+				if err != nil {
+					t.Fatalf("missing golden fixture (record with -update-golden on TestGoldenSelectReports): %v", err)
+				}
+				if string(got) != string(want) {
+					t.Errorf("%s/%d/%s: fetched-artifact report diverges from the built-world fixture\n%s",
+						task, seed, strat, firstDiff(string(want), string(got)))
+				}
+			}
+		}
+	}
+}

@@ -17,7 +17,7 @@ import (
 // removeRecallArtifact deletes the persisted clustering artifact for a
 // store key, simulating a store written before the staged pipeline.
 func removeRecallArtifact(dir, key string) error {
-	return os.Remove(filepath.Join(dir, "recalls", key+".json"))
+	return os.Remove(filepath.Join(dir, "recalls", key+".bin"))
 }
 
 // TestWarmStartSkipsRecallRecompute is the acceptance check for the staged

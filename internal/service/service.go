@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"twophase/internal/artifact"
 	"twophase/internal/core"
 	"twophase/internal/datahub"
 	"twophase/internal/lifecycle"
@@ -71,6 +72,40 @@ type Options struct {
 	// Seeds is the admission policy for per-request seed overrides; the
 	// zero value admits any seed.
 	Seeds SeedPolicy
+	// Fetch, when non-nil, resolves a world's binary artifacts from the
+	// fleet (typically the world's ring owners) when the local store
+	// misses, before the service falls back to an offline build. Only
+	// consulted when StoreDir is configured: fetched artifacts persist
+	// locally so this node serves them onward.
+	Fetch ArtifactFetcher
+}
+
+// ArtifactFetcher fetches the binary encoding of one artifact (kind is a
+// store kind directory: "matrices", "recalls", "frames"; name is the
+// world key, e.g. "nlp-seed42") from a fleet peer. The returned bytes are
+// checksum-verified by the service before anything trusts them.
+type ArtifactFetcher func(ctx context.Context, kind, name string) ([]byte, error)
+
+// ErrNoPeers is returned (wrapped) by an ArtifactFetcher when the named
+// world has no remote owner to fetch from — typically because this
+// backend is the world's only replica. The service then builds locally
+// without counting a fetch failure: nothing was reachable to fail.
+var ErrNoPeers = errors.New("service: no remote artifact owners")
+
+// ArtifactStats counts the artifact-resolution outcomes of Service.load:
+// local binary/JSON store hits, worlds fetched from ring peers, failed
+// fetch attempts, and offline builds that ran because both tiers missed.
+type ArtifactStats struct {
+	// Hits counts worlds assembled from the local artifact store.
+	Hits int64
+	// Fetches counts artifact documents fetched and verified from peers.
+	Fetches int64
+	// FetchFailures counts worlds whose peer fetch failed (the service
+	// then built locally).
+	FetchFailures int64
+	// FallbackBuilds counts offline builds executed with a store
+	// configured — i.e. cold builds the artifact tiers could not avoid.
+	FallbackBuilds int64
 }
 
 // Service serves two-phase model selections with lifecycle-managed
@@ -86,6 +121,12 @@ type Service struct {
 
 	builds int64 // offline builds actually executed (atomic)
 	cost   trainer.SharedLedger
+
+	// Artifact-resolution counters (atomic); see ArtifactStats.
+	artifactHits   int64
+	artifactFetch  int64
+	fetchFailures  int64
+	fallbackBuilds int64
 }
 
 // New creates a Service. The store directory, if configured, is created on
@@ -110,8 +151,8 @@ func New(opts Options) (*Service, error) {
 	}
 	mgr, err := lifecycle.New(lifecycle.Options{
 		Capacity: opts.CacheSize,
-		Build: func(_ context.Context, key lifecycle.Key) (*core.Framework, error) {
-			return s.load(key.Task, key.Seed)
+		Build: func(ctx context.Context, key lifecycle.Key) (*core.Framework, error) {
+			return s.load(ctx, key.Task, key.Seed)
 		},
 	})
 	if err != nil {
@@ -161,37 +202,65 @@ func matrixKey(task string, seed uint64) string {
 	return lifecycle.Key{Task: task, Seed: seed}.String()
 }
 
-// load resolves a framework: from the store when matching stage artifacts
-// are persisted, otherwise by running the offline build (and persisting
-// its artifacts for the next process). With both the matrix and the
-// clustering artifact on disk, a warm start recomputes neither — zero
-// fine-tuning runs and zero clustering passes.
-func (s *Service) load(task string, seed uint64) (*core.Framework, error) {
+// load resolves a framework through the artifact tiers: the local store
+// first (binary artifacts, with JSON fallback inside the store), then —
+// when a fetcher is configured — the world's fleet peers, and only then
+// the offline build (whose artifacts persist for the next process). With
+// both the matrix and the clustering artifact at hand, a warm start
+// recomputes neither — zero fine-tuning runs and zero clustering passes.
+//
+// The store's typed errors drive the fallback: only a truly absent
+// artifact (ErrNotFound) consults peers, a corrupt one rebuilds locally
+// (the rewrite heals the store), and any other read failure — a transient
+// I/O or permission error — propagates instead of silently paying a
+// rebuild.
+func (s *Service) load(ctx context.Context, task string, seed uint64) (*core.Framework, error) {
 	opts := s.opts.Base
 	opts.Task = task
 	opts.Seed = seed
 	opts.Workers = s.opts.Workers
 	key := matrixKey(task, seed)
 	if s.st != nil {
-		if m, err := s.st.GetMatrix(key); err == nil {
+		m, err := s.st.GetMatrix(key)
+		switch {
+		case err == nil:
 			art := core.Artifacts{Matrix: m}
-			if ra, err := s.st.GetRecall(key); err == nil {
+			if ra, rerr := s.st.GetRecall(key); rerr == nil {
 				art.Recall = ra
 			}
-			if fw, err := core.AssembleArtifacts(opts, art); err == nil {
+			if fw, aerr := core.AssembleArtifacts(opts, art); aerr == nil {
+				atomic.AddInt64(&s.artifactHits, 1)
 				if !fw.Stages.RecallLoaded {
 					// The clustering artifact was missing or stale; the
 					// assembly recomputed it, so persist the fresh one
 					// for the next process (best-effort, like persist).
-					if err := s.st.PutRecall(key, fw.RecallArtifact()); err != nil {
-						s.setPersistErr(err)
+					if perr := s.st.PutRecall(key, fw.RecallArtifact()); perr != nil {
+						s.setPersistErr(perr)
 					}
 				}
 				return fw, nil
 			}
 			// Mismatched or stale matrix: fall through to a fresh build,
 			// which overwrites every stage artifact.
+		case errors.Is(err, store.ErrNotFound):
+			if s.opts.Fetch != nil {
+				fw, ferr := s.fetchWorld(ctx, opts, key)
+				if ferr == nil {
+					return fw, nil
+				}
+				// A world with no remote owners (this backend is the
+				// world's only replica) was never fetchable — building
+				// it is the plan, not a distribution failure.
+				if !errors.Is(ferr, ErrNoPeers) {
+					atomic.AddInt64(&s.fetchFailures, 1)
+				}
+			}
+		case errors.Is(err, store.ErrCorrupt):
+			// Rebuild below; the persisted rewrite heals the store.
+		default:
+			return nil, err
 		}
+		atomic.AddInt64(&s.fallbackBuilds, 1)
 	}
 	fw, err := core.Build(opts)
 	if err != nil {
@@ -204,6 +273,51 @@ func (s *Service) load(task string, seed uint64) (*core.Framework, error) {
 		// service permanently unable to serve on a full or read-only
 		// store volume. The error stays visible via PersistErr.
 		if err := s.persist(fw); err != nil {
+			s.setPersistErr(err)
+		}
+	}
+	return fw, nil
+}
+
+// fetchWorld resolves one world's artifacts from fleet peers: fetch the
+// binary matrix (mandatory) and recall artifact (best-effort — a miss
+// just recomputes the cheap clustering stage), verify both checksums,
+// assemble, and persist the fetched bytes verbatim so this node serves
+// them onward to later peers. Assembly failure is a fetch failure: a
+// peer's artifact that doesn't match this server's world provenance must
+// never steer selection.
+func (s *Service) fetchWorld(ctx context.Context, opts core.Options, key string) (*core.Framework, error) {
+	data, err := s.opts.Fetch(ctx, "matrices", key)
+	if err != nil {
+		return nil, err
+	}
+	m, err := artifact.DecodeMatrix(data)
+	if err != nil {
+		return nil, fmt.Errorf("service: fetched matrix %s: %w", key, err)
+	}
+	art := core.Artifacts{Matrix: m}
+	var recallBytes []byte
+	if rd, rerr := s.opts.Fetch(ctx, "recalls", key); rerr == nil {
+		if ra, derr := artifact.DecodeRecall(rd); derr == nil {
+			art.Recall = ra
+			recallBytes = rd
+		}
+	}
+	fw, err := core.AssembleArtifacts(opts, art)
+	if err != nil {
+		return nil, fmt.Errorf("service: fetched artifacts for %s do not assemble: %w", key, err)
+	}
+	atomic.AddInt64(&s.artifactFetch, 1)
+	if err := s.st.PutVerified("matrices", key, data); err != nil {
+		s.setPersistErr(err)
+	}
+	if recallBytes != nil {
+		atomic.AddInt64(&s.artifactFetch, 1)
+		if err := s.st.PutVerified("recalls", key, recallBytes); err != nil {
+			s.setPersistErr(err)
+		}
+	} else if !fw.Stages.RecallLoaded {
+		if err := s.st.PutRecall(key, fw.RecallArtifact()); err != nil {
 			s.setPersistErr(err)
 		}
 	}
@@ -253,6 +367,21 @@ func (s *Service) persist(fw *core.Framework) error {
 // Builds returns how many offline builds this service has executed — zero
 // when every framework came out of the store, one per world otherwise.
 func (s *Service) Builds() int { return int(atomic.LoadInt64(&s.builds)) }
+
+// ArtifactStats snapshots the artifact-resolution counters.
+func (s *Service) ArtifactStats() ArtifactStats {
+	return ArtifactStats{
+		Hits:           atomic.LoadInt64(&s.artifactHits),
+		Fetches:        atomic.LoadInt64(&s.artifactFetch),
+		FetchFailures:  atomic.LoadInt64(&s.fetchFailures),
+		FallbackBuilds: atomic.LoadInt64(&s.fallbackBuilds),
+	}
+}
+
+// Store exposes the service's artifact store (nil when persistence is not
+// configured) so the serving layer can mount the artifact-distribution
+// endpoint over it.
+func (s *Service) Store() *store.Store { return s.st }
 
 // Cost returns a snapshot of the epochs spent by all selections served so
 // far, across all goroutines.

@@ -267,10 +267,12 @@ func TestStoreCorruptArtifactRebuilds(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	path := filepath.Join(dir, "matrices", "nlp-seed42.json")
+	path := filepath.Join(dir, "matrices", "nlp-seed42.bin")
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("expected persisted matrix at %s: %v", path, err)
 	}
+	// Garbage that fails the binary format's checksum — the store must
+	// surface it as corrupt (not absent), and the service must rebuild.
 	if err := os.WriteFile(path, []byte("{definitely not a matrix"), 0o644); err != nil {
 		t.Fatal(err)
 	}

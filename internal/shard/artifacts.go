@@ -1,0 +1,99 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"twophase/internal/api"
+	"twophase/internal/artifact"
+	"twophase/internal/lifecycle"
+	"twophase/internal/service"
+)
+
+// fetchAttemptTimeout bounds one artifact fetch from one ring peer. The
+// fetcher runs under the lifecycle's uncancelable build context, so it
+// must carry its own deadline or a wedged peer would hang the build
+// forever instead of falling through to the next owner.
+const fetchAttemptTimeout = 10 * time.Second
+
+// OwnedKeys filters a warm list down to the worlds this backend owns on
+// the ring: the keys whose replica owner set (of size replicas) includes
+// self. With every backend warming only its owned keys, fleet cold start
+// builds each world replicas times total instead of once per backend —
+// the rest of the fleet fetches the finished artifacts over the ring.
+// A nil ring (single-node deployment) owns everything.
+func OwnedKeys(keys []lifecycle.Key, ring *Ring, self string, replicas int) []lifecycle.Key {
+	if ring == nil {
+		return keys
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	var owned []lifecycle.Key
+	for _, k := range keys {
+		for _, owner := range ring.Owners(RouteKey(k.Task, k.Seed), replicas) {
+			if owner == self {
+				owned = append(owned, k)
+				break
+			}
+		}
+	}
+	return owned
+}
+
+// NewArtifactFetcher returns a service.ArtifactFetcher that resolves a
+// world's ring owners and fetches the named artifact document from the
+// first peer that has it. The store key ("task-seedN") IS the routing
+// key, so artifact locality follows request routing: the owners tried
+// here are exactly the backends whose ring-aware warmup built the world.
+// Self is skipped (a local miss is why the fetcher ran), every document
+// is checksum-verified before it is trusted, and each attempt carries
+// its own timeout. An error means no live owner had a valid copy; the
+// caller falls back to a local build.
+func NewArtifactFetcher(ring *Ring, self string, replicas int, hc *http.Client) func(ctx context.Context, kind, name string) ([]byte, error) {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	var mu sync.Mutex
+	clients := make(map[string]*api.Client)
+	clientFor := func(node string) *api.Client {
+		mu.Lock()
+		defer mu.Unlock()
+		c, ok := clients[node]
+		if !ok {
+			c = api.NewClient(node, hc)
+			clients[node] = c
+		}
+		return c
+	}
+	return func(ctx context.Context, kind, name string) ([]byte, error) {
+		var lastErr error
+		for _, owner := range ring.Owners(name, replicas) {
+			if owner == self {
+				continue
+			}
+			attempt, cancel := context.WithTimeout(ctx, fetchAttemptTimeout)
+			data, _, err := clientFor(owner).FetchArtifact(attempt, kind, name, "")
+			cancel()
+			if err != nil {
+				lastErr = fmt.Errorf("%s: %w", owner, err)
+				continue
+			}
+			if _, err := artifact.Verify(data); err != nil {
+				lastErr = fmt.Errorf("%s: %w", owner, err)
+				continue
+			}
+			return data, nil
+		}
+		if lastErr != nil {
+			return nil, fmt.Errorf("shard: fetch %s/%s: %w", kind, name, lastErr)
+		}
+		return nil, fmt.Errorf("shard: fetch %s/%s: %w", kind, name, service.ErrNoPeers)
+	}
+}

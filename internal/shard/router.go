@@ -577,6 +577,15 @@ func (r *Router) Stats(ctx context.Context) (*api.Stats, error) {
 			out.PersistDegraded = true
 			out.PersistError = st.PersistError
 		}
+		if st.Artifacts != nil {
+			if out.Artifacts == nil {
+				out.Artifacts = &api.ArtifactStats{}
+			}
+			out.Artifacts.Hits += st.Artifacts.Hits
+			out.Artifacts.Fetches += st.Artifacts.Fetches
+			out.Artifacts.FetchFailures += st.Artifacts.FetchFailures
+			out.Artifacts.FallbackBuilds += st.Artifacts.FallbackBuilds
+		}
 	}
 	return out, nil
 }

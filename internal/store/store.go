@@ -5,24 +5,46 @@
 // ("build data management system which stores and maintains the
 // pre-trained models and datasets").
 //
-// The store is a directory of JSON documents with an in-memory index; it
-// is safe for concurrent readers and single-writer use.
+// Specs (models, datasets) are small JSON documents. The heavy world
+// artifacts — performance matrices, recall artifacts and feature frames —
+// persist in the binary internal/artifact format (checksummed headers,
+// raw float64 payloads) with transparent JSON fallback: a store written
+// by an older binary still reads, and the first read migrates the
+// artifact to its binary form. The store is a directory with an in-memory
+// index; it is safe for concurrent readers and single-writer use.
 package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 
+	"twophase/internal/artifact"
 	"twophase/internal/datahub"
 	"twophase/internal/modelhub"
+	"twophase/internal/numeric"
 	"twophase/internal/perfmatrix"
 	"twophase/internal/recall"
 )
+
+// ErrNotFound marks an artifact that is truly absent from the store — no
+// binary file, no JSON fallback. Callers rebuild (or fetch from a ring
+// peer) only on this error; transient read failures (permissions, I/O)
+// propagate unwrapped so they never silently trigger an expensive
+// rebuild.
+var ErrNotFound = errors.New("store: artifact not found")
+
+// ErrCorrupt marks an artifact that exists but cannot be decoded — a
+// failed checksum, a truncated file, unparsable JSON. The wrapped message
+// names the offending file path. Callers rebuild on it: the rewrite heals
+// the store.
+var ErrCorrupt = errors.New("store: corrupt artifact")
 
 // Store is a directory-backed artifact store.
 type Store struct {
@@ -32,7 +54,7 @@ type Store struct {
 
 // Open creates (if needed) and opens a store rooted at dir.
 func Open(dir string) (*Store, error) {
-	for _, sub := range []string{"models", "datasets", "matrices", "recalls"} {
+	for _, sub := range []string{"models", "datasets", "matrices", "recalls", "frames"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: create %s: %w", sub, err)
 		}
@@ -77,20 +99,28 @@ func legacyOnly(file string) bool {
 	return slug(unslug(base)) != file
 }
 
-func (s *Store) write(kind, name string, v interface{}) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	data, err := json.MarshalIndent(v, "", " ")
+// isNotExist reports that a path truly has no file behind it: ENOENT, or
+// ENOTDIR (a parent path component is not a directory — e.g. a broken
+// store volume), as opposed to transient failures like permission or I/O
+// errors, which must not masquerade as "absent".
+func isNotExist(err error) bool {
+	return os.IsNotExist(err) || errors.Is(err, syscall.ENOTDIR)
+}
+
+// binSlug is the binary counterpart of slug: same injective name
+// encoding, ".bin" extension.
+func binSlug(name string) string {
+	return strings.TrimSuffix(slug(name), ".json") + ".bin"
+}
+
+// writeFile atomically installs data at path: unique temp file (serving
+// processes may share a store directory, and a fixed name would let two
+// concurrent writers interleave into a corrupted artifact), chmod,
+// rename.
+func writeFile(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
-		return fmt.Errorf("store: marshal %s/%s: %w", kind, name, err)
-	}
-	path := filepath.Join(s.dir, kind, slug(name))
-	// The temp file must be unique per writer: serving processes may share
-	// a store directory, and a fixed name would let two concurrent writers
-	// interleave into (and then rename) a corrupted artifact.
-	tmp, err := os.CreateTemp(filepath.Dir(path), slug(name)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("store: temp for %s/%s: %w", kind, name, err)
+		return fmt.Errorf("store: temp for %s: %w", path, err)
 	}
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
@@ -109,6 +139,19 @@ func (s *Store) write(kind, name string, v interface{}) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	return nil
+}
+
+func (s *Store) write(kind, name string, v interface{}) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := json.MarshalIndent(v, "", " ")
+	if err != nil {
+		return fmt.Errorf("store: marshal %s/%s: %w", kind, name, err)
+	}
+	if err := writeFile(filepath.Join(s.dir, kind, slug(name)), data); err != nil {
+		return err
+	}
 	// Migrate away from the ambiguous legacy encoding: with the artifact
 	// safely under its collision-safe name, a leftover legacy file would
 	// only shadow stale data and duplicate list entries. Only delete
@@ -118,25 +161,75 @@ func (s *Store) write(kind, name string, v interface{}) error {
 	if legacy := legacySlug(name); legacy != slug(name) && legacyOnly(legacy) {
 		os.Remove(filepath.Join(s.dir, kind, legacy))
 	}
+	// A stale binary sibling would shadow this JSON document on the next
+	// read; JSON writes only happen when the binary encoder refused the
+	// value, so the sibling is the older artifact.
+	os.Remove(filepath.Join(s.dir, kind, binSlug(name)))
+	return nil
+}
+
+// writeBinary atomically installs an already-encoded binary artifact and
+// migrates away from its JSON (and legacy-JSON) siblings, which would
+// otherwise go stale silently.
+func (s *Store) writeBinary(kind, name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := writeFile(filepath.Join(s.dir, kind, binSlug(name)), data); err != nil {
+		return err
+	}
+	os.Remove(filepath.Join(s.dir, kind, slug(name)))
+	if legacy := legacySlug(name); legacy != slug(name) && legacyOnly(legacy) {
+		os.Remove(filepath.Join(s.dir, kind, legacy))
+	}
 	return nil
 }
 
 func (s *Store) read(kind, name string, v interface{}) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	data, err := os.ReadFile(filepath.Join(s.dir, kind, slug(name)))
-	if os.IsNotExist(err) {
+	path := filepath.Join(s.dir, kind, slug(name))
+	data, err := os.ReadFile(path)
+	if isNotExist(err) {
 		// Stores written by older binaries used the legacy encoding; fall
 		// back only when that file couldn't be another name's current
 		// artifact under the new encoding.
 		if legacy := legacySlug(name); legacy != slug(name) && legacyOnly(legacy) {
-			data, err = os.ReadFile(filepath.Join(s.dir, kind, legacy))
+			path = filepath.Join(s.dir, kind, legacy)
+			data, err = os.ReadFile(path)
 		}
 	}
-	if err != nil {
+	switch {
+	case err == nil:
+	case isNotExist(err):
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, kind, name)
+	default:
 		return fmt.Errorf("store: read %s/%s: %w", kind, name, err)
 	}
-	return json.Unmarshal(data, v)
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	return nil
+}
+
+// withBinary maps the binary encoding of kind/name and runs fn over it
+// while the mapping is held; fn must copy anything it keeps. A missing
+// file is ErrNotFound.
+func (s *Store) withBinary(kind, name string, fn func(data []byte) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	path := filepath.Join(s.dir, kind, binSlug(name))
+	data, release, err := artifact.MapFile(path)
+	if isNotExist(err) {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, kind, name)
+	}
+	if err != nil {
+		return fmt.Errorf("store: map %s: %w", path, err)
+	}
+	defer release()
+	if err := fn(data); err != nil {
+		return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	return nil
 }
 
 func (s *Store) list(kind string) ([]string, error) {
@@ -146,13 +239,24 @@ func (s *Store) list(kind string) ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: list %s: %w", kind, err)
 	}
+	seen := make(map[string]bool)
 	var names []string
 	for _, e := range entries {
 		n := e.Name()
-		if !strings.HasSuffix(n, ".json") {
+		var base string
+		switch {
+		case strings.HasSuffix(n, ".json"):
+			base = strings.TrimSuffix(n, ".json")
+		case strings.HasSuffix(n, ".bin"):
+			base = strings.TrimSuffix(n, ".bin")
+		default:
 			continue
 		}
-		names = append(names, unslug(strings.TrimSuffix(n, ".json")))
+		name := unslug(base)
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 	return names, nil
@@ -211,40 +315,184 @@ func (s *Store) GetDataset(name string) (datahub.Spec, error) {
 // ListDatasets returns all stored dataset names, sorted.
 func (s *Store) ListDatasets() ([]string, error) { return s.list("datasets") }
 
-// PutMatrix persists a performance matrix under a name (e.g. "nlp").
+// PutMatrix persists a performance matrix under a name (e.g. "nlp") in
+// the binary artifact format. A matrix the binary encoder refuses (ragged
+// entries) falls back to JSON, so nothing is ever unpersistable.
 func (s *Store) PutMatrix(name string, m *perfmatrix.Matrix) error {
-	return s.write("matrices", name, m)
+	data, err := artifact.EncodeMatrix(m)
+	if err != nil {
+		return s.write("matrices", name, m)
+	}
+	return s.writeBinary("matrices", name, data)
 }
 
-// GetMatrix retrieves a performance matrix by name.
+// GetMatrix retrieves a performance matrix by name: binary first, JSON
+// fallback for stores written by older binaries (the read migrates the
+// artifact to binary, best-effort). A missing matrix is ErrNotFound; an
+// undecodable one is ErrCorrupt naming the file.
 func (s *Store) GetMatrix(name string) (*perfmatrix.Matrix, error) {
-	var m perfmatrix.Matrix
-	if err := s.read("matrices", name, &m); err != nil {
+	var m *perfmatrix.Matrix
+	err := s.withBinary("matrices", name, func(data []byte) error {
+		var derr error
+		m, derr = artifact.DecodeMatrix(data)
+		return derr
+	})
+	if err == nil {
+		return m, nil
+	}
+	if !errors.Is(err, ErrNotFound) {
 		return nil, err
 	}
-	return &m, nil
+	var jm perfmatrix.Matrix
+	if jerr := s.read("matrices", name, &jm); jerr != nil {
+		return nil, jerr
+	}
+	if data, eerr := artifact.EncodeMatrix(&jm); eerr == nil {
+		_ = s.writeBinary("matrices", name, data)
+	}
+	return &jm, nil
 }
 
 // ListMatrices returns all stored matrix names, sorted.
 func (s *Store) ListMatrices() ([]string, error) { return s.list("matrices") }
 
 // PutRecall persists the clustering-stage artifact of the offline pipeline
-// under a name (conventionally the same key as the matrix it derives from).
+// under a name (conventionally the same key as the matrix it derives
+// from), in the binary artifact format with JSON fallback.
 func (s *Store) PutRecall(name string, a *recall.Artifact) error {
-	return s.write("recalls", name, a)
+	data, err := artifact.EncodeRecall(a)
+	if err != nil {
+		return s.write("recalls", name, a)
+	}
+	return s.writeBinary("recalls", name, data)
 }
 
-// GetRecall retrieves a clustering-stage artifact by name.
+// GetRecall retrieves a clustering-stage artifact by name (binary first,
+// JSON fallback with best-effort migration, like GetMatrix).
 func (s *Store) GetRecall(name string) (*recall.Artifact, error) {
-	var a recall.Artifact
-	if err := s.read("recalls", name, &a); err != nil {
+	var a *recall.Artifact
+	err := s.withBinary("recalls", name, func(data []byte) error {
+		var derr error
+		a, derr = artifact.DecodeRecall(data)
+		return derr
+	})
+	if err == nil {
+		return a, nil
+	}
+	if !errors.Is(err, ErrNotFound) {
 		return nil, err
 	}
-	return &a, nil
+	var ja recall.Artifact
+	if jerr := s.read("recalls", name, &ja); jerr != nil {
+		return nil, jerr
+	}
+	if data, eerr := artifact.EncodeRecall(&ja); eerr == nil {
+		_ = s.writeBinary("recalls", name, data)
+	}
+	return &ja, nil
 }
 
 // ListRecalls returns all stored recall-artifact names, sorted.
 func (s *Store) ListRecalls() ([]string, error) { return s.list("recalls") }
+
+// PutFrame persists a numeric feature frame. Frames are binary-only —
+// they never had a JSON schema to stay compatible with.
+func (s *Store) PutFrame(name string, f *numeric.Frame) error {
+	data, err := artifact.EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	return s.writeBinary("frames", name, data)
+}
+
+// GetFrame retrieves a numeric feature frame by name.
+func (s *Store) GetFrame(name string) (*numeric.Frame, error) {
+	var f *numeric.Frame
+	err := s.withBinary("frames", name, func(data []byte) error {
+		var derr error
+		f, derr = artifact.DecodeFrame(data)
+		return derr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// ListFrames returns all stored frame names, sorted.
+func (s *Store) ListFrames() ([]string, error) { return s.list("frames") }
+
+// artifactKinds maps a wire/store kind directory to the binary format's
+// kind tag. These are the only kinds OpenArtifact and PutVerified serve.
+var artifactKinds = map[string]artifact.Kind{
+	"matrices": artifact.KindMatrix,
+	"recalls":  artifact.KindRecall,
+	"frames":   artifact.KindFrame,
+}
+
+// OpenArtifact returns the verified binary encoding of an artifact plus
+// its input fingerprint — the payload of GET /v1/artifacts/{kind}/{name}.
+// An artifact that only exists as JSON (older store) is migrated to
+// binary on the way out, so a fleet peer can always fetch it. Unknown
+// kinds and missing artifacts are ErrNotFound; a failed checksum is
+// ErrCorrupt.
+func (s *Store) OpenArtifact(kind, name string) ([]byte, uint64, error) {
+	k, ok := artifactKinds[kind]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: kind %q", ErrNotFound, kind)
+	}
+	open := func() (data []byte, fp uint64, err error) {
+		err = s.withBinary(kind, name, func(mapped []byte) error {
+			h, verr := artifact.Verify(mapped)
+			if verr != nil {
+				return verr
+			}
+			if h.Kind != k {
+				return fmt.Errorf("kind %s under %s/", h.Kind, kind)
+			}
+			data = append([]byte(nil), mapped...)
+			fp = h.Fingerprint
+			return nil
+		})
+		return data, fp, err
+	}
+	data, fp, err := open()
+	if errors.Is(err, ErrNotFound) {
+		// Trigger the JSON-fallback migration, then retry the binary path.
+		var merr error
+		switch kind {
+		case "matrices":
+			_, merr = s.GetMatrix(name)
+		case "recalls":
+			_, merr = s.GetRecall(name)
+		default:
+			merr = err
+		}
+		if merr != nil {
+			return nil, 0, err
+		}
+		data, fp, err = open()
+	}
+	return data, fp, err
+}
+
+// PutVerified stores fetched artifact bytes after verifying the checksum
+// and that the encoding's kind matches the directory it is filed under —
+// a corrupted or mislabeled fetch never lands on disk.
+func (s *Store) PutVerified(kind, name string, data []byte) error {
+	k, ok := artifactKinds[kind]
+	if !ok {
+		return fmt.Errorf("store: unknown artifact kind %q", kind)
+	}
+	h, err := artifact.Verify(data)
+	if err != nil {
+		return fmt.Errorf("store: put %s/%s: %w", kind, name, err)
+	}
+	if h.Kind != k {
+		return fmt.Errorf("store: put %s/%s: encoding is kind %s", kind, name, h.Kind)
+	}
+	return s.writeBinary(kind, name, data)
+}
 
 // SaveRepository persists every spec of a repository.
 func (s *Store) SaveRepository(specs []modelhub.Spec) error {
