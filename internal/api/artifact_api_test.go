@@ -95,6 +95,62 @@ func TestArtifactEndpoint(t *testing.T) {
 	}
 }
 
+// TestArtifactConditionalForms verifies If-None-Match is parsed per RFC
+// 9110, not by exact string equality: a list of ETags containing the
+// current one, a weak-prefixed form, and "*" all answer 304, while a
+// list of stale tags re-sends the document.
+func TestArtifactConditionalForms(t *testing.T) {
+	d, svc := newStoreDispatcher(t)
+	ts := httptest.NewServer(NewHandlerWith(d, HandlerOptions{Artifacts: svc.Store()}))
+	defer ts.Close()
+	_, fp, err := svc.Store().OpenArtifact("matrices", "nlp-seed42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := fmt.Sprintf("%q", fmt.Sprintf("%016x", fp))
+	for _, tc := range []struct {
+		header string
+		want   int
+	}{
+		{cur, http.StatusNotModified},
+		{`"0000000000000000", ` + cur, http.StatusNotModified},
+		{"W/" + cur, http.StatusNotModified},
+		{"*", http.StatusNotModified},
+		{`"0000000000000000", "1111111111111111"`, http.StatusOK},
+		{"", http.StatusOK},
+	} {
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/artifacts/matrices/nlp-seed42", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.header != "" {
+			req.Header.Set("If-None-Match", tc.header)
+		}
+		res, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != tc.want {
+			t.Errorf("If-None-Match %q: status %d, want %d", tc.header, res.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestFetchArtifactCapsBody verifies the client refuses a response that
+// advertises more than the artifact size cap instead of buffering it.
+func TestFetchArtifactCapsBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Length", "2147483648") // 2 GiB
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	_, _, err := NewClient(ts.URL, nil).FetchArtifact(context.Background(), "matrices", "nlp-seed42", "")
+	if err == nil {
+		t.Fatal("2 GiB artifact response accepted")
+	}
+}
+
 // TestArtifactEndpointNotMounted verifies a handler with no artifact
 // source 404s the route rather than panicking on a nil interface.
 func TestArtifactEndpointNotMounted(t *testing.T) {

@@ -106,13 +106,22 @@ func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	return &resp, nil
 }
 
+// maxArtifactBytes caps how much of an artifact response body
+// FetchArtifact will buffer. A misbehaving peer must not be able to
+// balloon the fetching backend's memory before the codec's checksum
+// verification ever sees the bytes; real artifacts at production sizes
+// are tens of megabytes, so 1 GiB is generous headroom.
+const maxArtifactBytes = 1 << 30
+
 // FetchArtifact downloads one binary artifact document from the
 // server's /v1/artifacts endpoint. kind is the store kind ("matrices",
 // "recalls", "frames"); name is the store key (e.g. "nlp-seed42"). A
 // non-empty etag (a prior fingerprint formatted "%016x") rides
-// If-None-Match; a 304 returns notModified=true with nil data. The
-// returned bytes are the verbatim codec document — the caller verifies
-// the embedded checksums before trusting them.
+// If-None-Match; a 304 returns notModified=true with nil data. Bodies
+// larger than maxArtifactBytes fail the fetch so the ring can fall
+// through to the next owner. The returned bytes are the verbatim codec
+// document — the caller verifies the embedded checksums before trusting
+// them.
 func (c *Client) FetchArtifact(ctx context.Context, kind, name, etag string) (data []byte, notModified bool, err error) {
 	path := "/v1/artifacts/" + url.PathEscape(kind) + "/" + url.PathEscape(name)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
@@ -130,9 +139,15 @@ func (c *Client) FetchArtifact(ctx context.Context, kind, name, etag string) (da
 	if res.StatusCode == http.StatusNotModified {
 		return nil, true, nil
 	}
-	body, err := io.ReadAll(res.Body)
+	if res.ContentLength > maxArtifactBytes {
+		return nil, false, fmt.Errorf("api: artifact %s/%s: %d bytes exceeds cap %d", kind, name, res.ContentLength, maxArtifactBytes)
+	}
+	body, err := io.ReadAll(io.LimitReader(res.Body, maxArtifactBytes+1))
 	if err != nil {
 		return nil, false, fmt.Errorf("api: read artifact: %w", err)
+	}
+	if len(body) > maxArtifactBytes {
+		return nil, false, fmt.Errorf("api: artifact %s/%s exceeds cap %d bytes", kind, name, maxArtifactBytes)
 	}
 	if res.StatusCode != http.StatusOK {
 		var e ErrorResponse

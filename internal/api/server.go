@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"twophase/internal/admission"
@@ -143,7 +144,7 @@ func NewHandlerWith(a API, opts HandlerOptions) http.Handler {
 			}
 			etag := fmt.Sprintf("%q", fmt.Sprintf("%016x", fp))
 			w.Header().Set("ETag", etag)
-			if r.Header.Get("If-None-Match") == etag {
+			if etagMatches(r.Header.Get("If-None-Match"), etag) {
 				w.WriteHeader(http.StatusNotModified)
 				return
 			}
@@ -179,6 +180,28 @@ func NewHandlerWith(a API, opts HandlerOptions) http.Handler {
 		w.Header().Set(InstanceHeader, opts.Instance)
 		mux.ServeHTTP(w, r)
 	})
+}
+
+// etagMatches reports whether an If-None-Match header value matches the
+// given quoted ETag, per RFC 9110: the header may carry "*", a single
+// entity tag, or a comma-separated list, each optionally weak (W/
+// prefix). Weak comparison is fine for a 304 on GET.
+func etagMatches(header, etag string) bool {
+	header = strings.TrimSpace(header)
+	if header == "" {
+		return false
+	}
+	if header == "*" {
+		return true
+	}
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // clientID names the requester for per-client rate limiting: the

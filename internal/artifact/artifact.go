@@ -287,14 +287,17 @@ func DecodeMatrix(data []byte) (*perfmatrix.Matrix, error) {
 	}
 	nM, nD, ep := len(meta.Models), len(meta.Datasets), meta.Epochs
 	// Bound each dimension before multiplying so a hostile meta section
-	// cannot overflow the size check into a giant allocation.
-	if ep < 0 || ep > 1<<24 || nM > 1<<20 || nD > 1<<20 {
+	// cannot overflow the size check into a giant allocation: with every
+	// dimension <= 2^20 the element count is <= 2^61 and cannot wrap.
+	if ep < 0 || ep > 1<<20 || nM > 1<<20 || nD > 1<<20 {
 		return nil, fmt.Errorf("%w: implausible matrix shape %dx%dx%d", ErrCorrupt, nM, nD, ep)
 	}
+	// Compare element counts, never byte products: the payload length is
+	// ground truth, so a forged meta section can only fail the check.
 	words := uint64(nM) * uint64(nD) * uint64(ep) * 2
-	if words*8 != uint64(len(payload)) {
-		return nil, fmt.Errorf("%w: matrix payload %d bytes, shape %dx%dx%d needs %d",
-			ErrCorrupt, len(payload), nM, nD, ep, words*8)
+	if len(payload)%8 != 0 || words != uint64(len(payload))/8 {
+		return nil, fmt.Errorf("%w: matrix payload %d bytes, shape %dx%dx%d needs %d words",
+			ErrCorrupt, len(payload), nM, nD, ep, words)
 	}
 	m := &perfmatrix.Matrix{
 		Task: meta.Task, Models: meta.Models, Datasets: meta.Datasets,
@@ -352,9 +355,12 @@ func DecodeRecall(data []byte) (*recall.Artifact, error) {
 	if err != nil {
 		return nil, err
 	}
-	if meta.AssignLen < 0 || uint64(meta.AssignLen)*8 != uint64(len(payload)) {
-		return nil, fmt.Errorf("%w: recall payload %d bytes, assign length %d needs %d",
-			ErrCorrupt, len(payload), meta.AssignLen, meta.AssignLen*8)
+	// Compare element counts, never byte products: uint64(AssignLen)*8
+	// wraps for AssignLen >= 2^61, letting a checksum-valid forged meta
+	// drive a giant allocation. len(payload)/8 cannot be forged.
+	if meta.AssignLen < 0 || len(payload)%8 != 0 || uint64(meta.AssignLen) != uint64(len(payload))/8 {
+		return nil, fmt.Errorf("%w: recall payload %d bytes, assign length %d",
+			ErrCorrupt, len(payload), meta.AssignLen)
 	}
 	var assign []int
 	if meta.AssignLen > 0 {
@@ -397,8 +403,10 @@ func DecodeFrame(data []byte) (*numeric.Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	if meta.N < 0 || meta.D < 0 || meta.N > 1<<31 || meta.D > 1<<31 ||
-		uint64(meta.N)*uint64(meta.D)*8 != uint64(len(payload)) {
+	// Bound dimensions so the element count cannot wrap (2^26 * 2^26 =
+	// 2^52), then compare element counts against the real payload length.
+	if meta.N < 0 || meta.D < 0 || meta.N > 1<<26 || meta.D > 1<<26 ||
+		len(payload)%8 != 0 || uint64(meta.N)*uint64(meta.D) != uint64(len(payload))/8 {
 		return nil, fmt.Errorf("%w: frame payload %d bytes, shape %dx%d", ErrCorrupt, len(payload), meta.N, meta.D)
 	}
 	return &numeric.Frame{N: meta.N, D: meta.D, Data: getFloats(payload, meta.N*meta.D)}, nil

@@ -200,6 +200,61 @@ func TestCorruptionNeverPassesChecksum(t *testing.T) {
 	}
 }
 
+// TestForgedMetaNeverPanics is the regression suite for the uint64
+// overflow class: a checksum-valid artifact whose meta section claims a
+// shape whose byte size wraps uint64 (assign_len=2^61 so len*8 == 0,
+// n=d=2^31 so n*d*8 == 0, a matrix whose nM*nD*ep*2*8 wraps) must decode
+// to ErrCorrupt, never pass the size check and panic allocating. The
+// fuzzer cannot reach these — mutations never produce valid CRC64s — so
+// they are pinned here by crafting the encodings directly.
+func TestForgedMetaNeverPanics(t *testing.T) {
+	t.Run("recall/assign_len=2^61", func(t *testing.T) {
+		data, err := encode(KindRecall, recallMeta{Task: "nlp", AssignLen: 1 << 61}, 0, func([]byte) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeRecall(data); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("forged assign_len decoded: %v", err)
+		}
+	})
+	t.Run("frame/n=d=2^31", func(t *testing.T) {
+		data, err := encode(KindFrame, frameMeta{N: 1 << 31, D: 1 << 31}, 0, func([]byte) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeFrame(data); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("forged frame shape decoded: %v", err)
+		}
+	})
+	t.Run("frame/n*d!=payload", func(t *testing.T) {
+		data, err := encode(KindFrame, frameMeta{N: 4, D: 4}, 2, func([]byte) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeFrame(data); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("undersized frame payload decoded: %v", err)
+		}
+	})
+	t.Run("matrix/wrapping-shape", func(t *testing.T) {
+		// 2^20 models × 2^20 datasets × 2^24 epochs: the old byte-product
+		// check computed 2^20·2^20·2^24·2·8 ≡ 0 (mod 2^64) and accepted an
+		// empty payload.
+		meta := matrixMeta{
+			Task:     "nlp",
+			Models:   make([]string, 1<<20),
+			Datasets: make([]string, 1<<20),
+			Epochs:   1 << 24,
+		}
+		data, err := encode(KindMatrix, meta, 0, func([]byte) {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeMatrix(data); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("wrapping matrix shape decoded: %v", err)
+		}
+	})
+}
+
 // TestDecodeWrongKind: a valid encoding of one kind must not decode as
 // another.
 func TestDecodeWrongKind(t *testing.T) {
