@@ -44,6 +44,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzSlugInjective -fuzztime=10s -run='^$$' ./internal/store
 	$(GO) test -fuzz=FuzzSlugPairwise -fuzztime=10s -run='^$$' ./internal/store
 	$(GO) test -fuzz=FuzzMulFrameMatchesMulVec -fuzztime=10s -run='^$$' ./internal/numeric
+	$(GO) test -fuzz=FuzzMulFrameParallelMatchesSerial -fuzztime=10s -run='^$$' ./internal/numeric
 	$(GO) test -fuzz=FuzzArtifactDecode -fuzztime=10s -run='^$$' ./internal/artifact
 
 # bench smoke-runs every benchmark once; use `go test -bench=. -benchmem`

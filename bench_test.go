@@ -206,7 +206,7 @@ func BenchmarkOfflineMatrixBuild(b *testing.B) {
 	hp := trainer.Default(datahub.TaskNLP)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := perfmatrix.Build(repo, cat.Benchmarks(), hp, w.Seed); err != nil {
+		if _, err := perfmatrix.Build(repo, cat.Benchmarks(), hp, w.Seed, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -21,6 +21,10 @@
 //	-store DIR           artifact store; offline stage artifacts persist
 //	                     across runs (matrix + clustering)
 //	-workers N           per-round training parallelism (0 = one per CPU)
+//	-build-workers N     offline-build parallelism: perf-matrix cells,
+//	                     recall vectors and concurrent -warm worlds all
+//	                     share this budget (0 = one per CPU; 1 = serial
+//	                     builds; output is bit-identical either way)
 //	-concurrency N       concurrent selections per batch (0 = one per CPU)
 //	-cache-size N        max resident frameworks, LRU-evicted beyond it
 //	                     (0 = unbounded)
@@ -90,6 +94,7 @@ type config struct {
 	seed          uint64
 	storeDir      string
 	workers       int
+	buildWorkers  int
 	concurrency   int
 	cacheSize     int
 	warmSpec      string
@@ -114,6 +119,7 @@ func main() {
 	flag.Uint64Var(&cfg.seed, "seed", 42, "default world seed")
 	flag.StringVar(&cfg.storeDir, "store", "", "artifact store directory (optional)")
 	flag.IntVar(&cfg.workers, "workers", 0, "per-round training workers (0 = one per CPU)")
+	flag.IntVar(&cfg.buildWorkers, "build-workers", 0, "offline-build parallelism (0 = one per CPU, 1 = serial)")
 	flag.IntVar(&cfg.concurrency, "concurrency", 0, "concurrent selections per batch (0 = one per CPU)")
 	flag.IntVar(&cfg.cacheSize, "cache-size", 0, "max resident frameworks, LRU-evicted beyond it (0 = unbounded)")
 	flag.StringVar(&cfg.warmSpec, "warm", "", `worlds to pre-build before reporting ready, e.g. "nlp,cv:7"`)
@@ -217,13 +223,14 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 		return err
 	}
 	svc, err := service.New(service.Options{
-		Base:        core.Options{Seed: cfg.seed, Sizes: cfg.sizes},
-		StoreDir:    cfg.storeDir,
-		Workers:     cfg.workers,
-		Concurrency: cfg.concurrency,
-		CacheSize:   cfg.cacheSize,
-		Seeds:       seeds,
-		Fetch:       fetch,
+		Base:         core.Options{Seed: cfg.seed, Sizes: cfg.sizes},
+		StoreDir:     cfg.storeDir,
+		Workers:      cfg.workers,
+		BuildWorkers: cfg.buildWorkers,
+		Concurrency:  cfg.concurrency,
+		CacheSize:    cfg.cacheSize,
+		Seeds:        seeds,
+		Fetch:        fetch,
 	})
 	if err != nil {
 		return err
@@ -243,12 +250,22 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	defer fail(nil)
 	if len(warmKeys) > 0 {
 		go func() {
-			if err := svc.Warm(ctx, warmKeys); err != nil {
+			start := time.Now()
+			results, err := svc.WarmResults(ctx, warmKeys)
+			for _, r := range results {
+				if r.Err != nil {
+					log.Printf("apiserver: warm %s failed after %s: %v", r.Key, r.Duration.Round(time.Millisecond), r.Err)
+					continue
+				}
+				log.Printf("apiserver: warm %s built in %s", r.Key, r.Duration.Round(time.Millisecond))
+			}
+			if err != nil {
 				fail(fmt.Errorf("warmup: %w", err))
 				return
 			}
 			warmed.Store(true)
-			log.Printf("apiserver: warmup done, %d worlds resident (%s); reporting ready", len(warmKeys), cfg.warmSpec)
+			log.Printf("apiserver: warmup done, %d worlds resident in %s (%s); reporting ready",
+				len(warmKeys), time.Since(start).Round(time.Millisecond), cfg.warmSpec)
 		}()
 	}
 	// Every response names its serving process, so a routing tier (and

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"twophase/internal/artifact"
+	"twophase/internal/benchkit"
 	"twophase/internal/core"
 	"twophase/internal/datahub"
 	"twophase/internal/modelhub"
@@ -83,6 +84,17 @@ type document struct {
 	CandidateRunMicros float64 `json:"candidate_run_us"`
 	EpochsPerSec       float64 `json:"epochs_per_sec"`
 	FeatureExtractions int64   `json:"feature_extractions"`
+
+	// Parallel offline-build trajectory at the document's task/seed/
+	// sizes: the same pipeline with BuildWorkers=1 vs the full CPU
+	// budget (bit-identity of the two matrices is verified, not
+	// assumed), plus sustained batched-GEMM throughput. GOMAXPROCS
+	// records how many CPUs the speedup had to work with.
+	BuildSerialMillis   float64 `json:"build_ms_serial"`
+	BuildParallelMillis float64 `json:"build_ms_parallel"`
+	BuildSpeedup        float64 `json:"build_speedup"`
+	MulFrameGFLOPS      float64 `json:"mulframe_gflops"`
+	GoMaxProcs          int     `json:"gomaxprocs"`
 
 	CacheHits    int64   `json:"cache_hits"`
 	CacheMisses  int64   `json:"cache_misses"`
@@ -200,6 +212,15 @@ func run(out, task string, seed uint64, selects int, sizes datahub.Sizes) error 
 	}
 	candidateMicros := float64(time.Since(epochStart).Microseconds()) / epochRuns
 
+	// Serial-vs-parallel offline build at this document's own world, and
+	// kernel throughput. BuildPairAt also verifies the two matrices are
+	// bit-identical, so a determinism break fails the run outright.
+	buildPair, err := benchkit.BuildPairAt(core.Options{Task: task, Seed: seed, Sizes: sizes})
+	if err != nil {
+		return err
+	}
+	gflops := benchkit.MulFrameGFLOPS()
+
 	doc := document{
 		Task:            task,
 		Seed:            seed,
@@ -221,6 +242,12 @@ func run(out, task string, seed uint64, selects int, sizes datahub.Sizes) error 
 
 		CandidateRunMicros: candidateMicros,
 		FeatureExtractions: modelhub.Extractions(),
+
+		BuildSerialMillis:   buildPair.SerialMillis,
+		BuildParallelMillis: buildPair.ParallelMillis,
+		BuildSpeedup:        buildPair.Speedup,
+		MulFrameGFLOPS:      gflops,
+		GoMaxProcs:          runtime.GOMAXPROCS(0),
 
 		CacheHits:   cache.Hits,
 		CacheMisses: cache.Misses,
@@ -251,6 +278,8 @@ func run(out, task string, seed uint64, selects int, sizes datahub.Sizes) error 
 	}
 	fmt.Printf("benchservice: cold %.0fms -> warm %.0fms (%.1fx), select avg %.0fms, cache hit rate %.2f -> %s\n",
 		doc.ColdBuildMillis, doc.WarmStartMillis, doc.WarmSpeedup, doc.SelectMillisAvg, doc.CacheHitRate, out)
+	fmt.Printf("benchservice: build serial %.0fms / parallel %.0fms (%.2fx on %d CPUs), mulframe %.2f GFLOP/s\n",
+		doc.BuildSerialMillis, doc.BuildParallelMillis, doc.BuildSpeedup, doc.GoMaxProcs, doc.MulFrameGFLOPS)
 	return nil
 }
 

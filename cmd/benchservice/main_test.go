@@ -50,4 +50,10 @@ func TestRunEmitsDocument(t *testing.T) {
 		// One miss (the warm assemble) plus one hit per selection.
 		t.Fatalf("cache hit rate %v out of (0,1): %+v", doc.CacheHitRate, doc)
 	}
+	if doc.BuildSerialMillis <= 0 || doc.BuildParallelMillis <= 0 || doc.BuildSpeedup <= 0 {
+		t.Fatalf("missing parallel-build metrics: %+v", doc)
+	}
+	if doc.MulFrameGFLOPS <= 0 || doc.GoMaxProcs < 1 {
+		t.Fatalf("missing kernel metrics: %+v", doc)
+	}
 }

@@ -31,6 +31,13 @@ type baseline struct {
 	Calibration benchkit.Measurement `json:"calibration"`
 	TrainEpoch  benchkit.Measurement `json:"train_epoch"`
 	Candidate   benchkit.Measurement `json:"candidate_epoch"`
+	// MulFrameGFLOPS gates kernel throughput (higher is better); the
+	// embedded build fields (build_ms_serial / build_ms_parallel /
+	// build_speedup) gate the offline pipeline on both axes: parallel
+	// wall clock must not regress, and on a multi-core box the parallel
+	// build must actually beat the serial one.
+	MulFrameGFLOPS            float64 `json:"mulframe_gflops"`
+	benchkit.BuildMeasurement         // flattens to build_ms_* / build_speedup
 }
 
 func main() {
@@ -55,17 +62,26 @@ func run(path string, write bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("benchsmoke: calibration %.0fns, train epoch %.0fns/op (%d allocs), candidate epoch %.0fns/op\n",
-		calib.NsPerOp, epoch.NsPerOp, epoch.AllocsPerOp, cand.NsPerOp)
+	gflops := benchkit.MulFrameGFLOPS()
+	build, err := benchkit.BuildPair()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("benchsmoke: calibration %.0fns, train epoch %.0fns/op (%d allocs), candidate epoch %.0fns/op (%d allocs)\n",
+		calib.NsPerOp, epoch.NsPerOp, epoch.AllocsPerOp, cand.NsPerOp, cand.AllocsPerOp)
+	fmt.Printf("benchsmoke: mulframe %.2f GFLOP/s, build serial %.0fms / parallel %.0fms (speedup %.2fx, GOMAXPROCS=%d)\n",
+		gflops, build.SerialMillis, build.ParallelMillis, build.Speedup, runtime.GOMAXPROCS(0))
 
 	if write {
 		b := baseline{
-			GoVersion:   runtime.Version(),
-			CPU:         runtime.GOARCH,
-			Tolerance:   0.20,
-			Calibration: calib,
-			TrainEpoch:  epoch,
-			Candidate:   cand,
+			GoVersion:        runtime.Version(),
+			CPU:              runtime.GOARCH,
+			Tolerance:        0.20,
+			Calibration:      calib,
+			TrainEpoch:       epoch,
+			Candidate:        cand,
+			MulFrameGFLOPS:   gflops,
+			BuildMeasurement: build,
 		}
 		data, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
@@ -95,24 +111,53 @@ func run(path string, write bool) error {
 		scale = calib.NsPerOp / base.Calibration.NsPerOp
 	}
 
-	// The -benchmem assertion: steady-state epochs must stay allocation-
-	// free; allocation regressions are machine-independent and get no
-	// tolerance.
+	// The -benchmem assertions: steady-state epochs must stay allocation-
+	// free and a candidate run must stay at its slab-allocated floor;
+	// allocation regressions are machine-independent and get no tolerance.
 	if epoch.AllocsPerOp > base.TrainEpoch.AllocsPerOp {
 		return fmt.Errorf("TrainEpoch allocates %d/op, baseline %d/op", epoch.AllocsPerOp, base.TrainEpoch.AllocsPerOp)
 	}
+	if cand.AllocsPerOp > base.Candidate.AllocsPerOp {
+		return fmt.Errorf("CandidateRun allocates %d/op, baseline %d/op", cand.AllocsPerOp, base.Candidate.AllocsPerOp)
+	}
 
-	check := func(name string, got, want float64) error {
+	check := func(name, unit string, got, want float64) error {
 		max := want * scale * (1 + base.Tolerance)
 		if got > max {
-			return fmt.Errorf("%s regressed: %.0fns/op > %.0fns/op (baseline %.0f x calibration %.2f x %.2f)",
-				name, got, max, want, scale, 1+base.Tolerance)
+			return fmt.Errorf("%s regressed: %.0f%s > %.0f%s (baseline %.0f x calibration %.2f x %.2f)",
+				name, got, unit, max, unit, want, scale, 1+base.Tolerance)
 		}
-		fmt.Printf("benchsmoke: %s ok: %.0fns/op <= %.0fns/op\n", name, got, max)
+		fmt.Printf("benchsmoke: %s ok: %.0f%s <= %.0f%s\n", name, got, unit, max, unit)
 		return nil
 	}
-	if err := check("BenchmarkTrainEpoch", epoch.NsPerOp, base.TrainEpoch.NsPerOp); err != nil {
+	if err := check("BenchmarkTrainEpoch", "ns/op", epoch.NsPerOp, base.TrainEpoch.NsPerOp); err != nil {
 		return err
 	}
-	return check("BenchmarkCandidateRun(per epoch)", cand.NsPerOp, base.Candidate.NsPerOp)
+	if err := check("BenchmarkCandidateRun(per epoch)", "ns/op", cand.NsPerOp, base.Candidate.NsPerOp); err != nil {
+		return err
+	}
+	if err := check("BuildParallel", "ms", build.ParallelMillis, base.ParallelMillis); err != nil {
+		return err
+	}
+	// GFLOP/s is higher-is-better, so the calibration ratio divides: a
+	// slower machine lowers the floor instead of raising a ceiling.
+	if base.MulFrameGFLOPS > 0 {
+		floor := base.MulFrameGFLOPS / (scale * (1 + base.Tolerance))
+		if gflops < floor {
+			return fmt.Errorf("MulFrame regressed: %.2f GFLOP/s < %.2f GFLOP/s floor (baseline %.2f / calibration %.2f / %.2f)",
+				gflops, floor, base.MulFrameGFLOPS, scale, 1+base.Tolerance)
+		}
+		fmt.Printf("benchsmoke: MulFrame ok: %.2f GFLOP/s >= %.2f GFLOP/s\n", gflops, floor)
+	}
+	// The multi-core dividend: with >1 CPU the parallel build must beat
+	// the serial one outright. Absolute, not baseline-relative — a 1-CPU
+	// baseline records ~1.0 and that must not excuse a regression in CI.
+	if runtime.GOMAXPROCS(0) > 1 {
+		if build.Speedup <= 1.0 {
+			return fmt.Errorf("build speedup %.2fx <= 1.0x with GOMAXPROCS=%d: parallel offline build lost its multi-core win",
+				build.Speedup, runtime.GOMAXPROCS(0))
+		}
+		fmt.Printf("benchsmoke: build speedup ok: %.2fx > 1.0x\n", build.Speedup)
+	}
+	return nil
 }

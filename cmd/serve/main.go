@@ -23,6 +23,10 @@
 //	-store DIR      artifact store; offline stage artifacts persist across
 //	                runs (matrix + clustering)
 //	-workers N      per-round training parallelism (0 = one per CPU)
+//	-build-workers N offline-build parallelism: perf-matrix cells, recall
+//	                vectors and -warm worlds share this budget (0 = one
+//	                per CPU, 1 = serial; bit-identical output either way;
+//	                rejected with -server — it configures the builder)
 //	-concurrency N  concurrent selections in the batch (0 = one per CPU)
 //	-cache-size N   max resident frameworks, LRU-evicted beyond (0 = unbounded)
 //	-warm SPEC      pre-build worlds before serving, e.g. "nlp,cv:7"
@@ -64,6 +68,7 @@ func main() {
 	flag.Uint64Var(&cfg.seed, "seed", 42, "world seed")
 	flag.StringVar(&cfg.storeDir, "store", "", "artifact store directory (optional)")
 	flag.IntVar(&cfg.workers, "workers", 0, "per-round training workers (0 = one per CPU)")
+	flag.IntVar(&cfg.buildWorkers, "build-workers", 0, "offline-build parallelism (0 = one per CPU, 1 = serial)")
 	flag.IntVar(&cfg.concurrency, "concurrency", 0, "concurrent selections (0 = one per CPU)")
 	flag.IntVar(&cfg.cacheSize, "cache-size", 0, "max resident frameworks, LRU-evicted beyond it (0 = unbounded)")
 	flag.StringVar(&cfg.warmSpec, "warm", "", `worlds to pre-build before serving, e.g. "nlp,cv:7"`)
@@ -90,23 +95,24 @@ func main() {
 }
 
 type config struct {
-	task        string
-	targets     string
-	all         bool
-	strategy    string
-	server      string
-	seed        uint64
-	seedSet     bool // -seed passed explicitly
-	storeDir    string
-	workers     int
-	concurrency int
-	cacheSize   int
-	warmSpec    string
-	seedPolicy  string
-	deadlineMS  int64
-	maxEpochs   int // -1 = unbounded; >=0 sent as the max_epochs budget
-	listTargets bool
-	sizes       datahub.Sizes // test hook; zero means datahub defaults
+	task         string
+	targets      string
+	all          bool
+	strategy     string
+	server       string
+	seed         uint64
+	seedSet      bool // -seed passed explicitly
+	storeDir     string
+	workers      int
+	buildWorkers int
+	concurrency  int
+	cacheSize    int
+	warmSpec     string
+	seedPolicy   string
+	deadlineMS   int64
+	maxEpochs    int // -1 = unbounded; >=0 sent as the max_epochs budget
+	listTargets  bool
+	sizes        datahub.Sizes // test hook; zero means datahub defaults
 }
 
 // newAPI picks the transport: a remote apiserver when -server is set,
@@ -119,6 +125,9 @@ func newAPI(ctx context.Context, cfg config) (api.API, error) {
 		// persisting or fan-out is bounded when neither is true.
 		if cfg.storeDir != "" {
 			return nil, fmt.Errorf("-store configures the serving process; not valid with -server")
+		}
+		if cfg.buildWorkers != 0 {
+			return nil, fmt.Errorf("-build-workers configures the serving process; not valid with -server")
 		}
 		if cfg.concurrency != 0 {
 			return nil, fmt.Errorf("-concurrency configures the serving process; not valid with -server")
@@ -146,12 +155,13 @@ func newAPI(ctx context.Context, cfg config) (api.API, error) {
 		return nil, err
 	}
 	svc, err := service.New(service.Options{
-		Base:        core.Options{Seed: cfg.seed, Sizes: cfg.sizes},
-		StoreDir:    cfg.storeDir,
-		Workers:     cfg.workers,
-		Concurrency: cfg.concurrency,
-		CacheSize:   cfg.cacheSize,
-		Seeds:       seeds,
+		Base:         core.Options{Seed: cfg.seed, Sizes: cfg.sizes},
+		StoreDir:     cfg.storeDir,
+		Workers:      cfg.workers,
+		BuildWorkers: cfg.buildWorkers,
+		Concurrency:  cfg.concurrency,
+		CacheSize:    cfg.cacheSize,
+		Seeds:        seeds,
 	})
 	if err != nil {
 		return nil, err

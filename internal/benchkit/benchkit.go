@@ -7,8 +7,11 @@ package benchkit
 
 import (
 	"fmt"
+	"math"
 	"testing"
+	"time"
 
+	"twophase/internal/core"
 	"twophase/internal/datahub"
 	"twophase/internal/modelhub"
 	"twophase/internal/numeric"
@@ -108,4 +111,116 @@ func Calibration() Measurement {
 
 func flatten(r testing.BenchmarkResult) Measurement {
 	return Measurement{NsPerOp: float64(r.NsPerOp()), AllocsPerOp: r.AllocsPerOp()}
+}
+
+// MulFrameGFLOPS benchmarks the batched GEMM kernel on a frame large
+// enough to clear the row-block parallel threshold (2048×96 against a
+// 96×96 matrix ≈ 38M multiply-adds) and returns sustained GFLOP/s
+// (2 flops per multiply-add). On a multi-core box the auto dispatcher
+// engages the parallel path; the output is bit-identical regardless.
+func MulFrameGFLOPS() float64 {
+	const n, rows, cols = 2048, 96, 96
+	rng := numeric.NewRNG(7)
+	m := numeric.RandomMatrix(rng, rows, cols, 1.0)
+	x := numeric.NewFrame(n, cols)
+	for i := range x.Data {
+		x.Data[i] = rng.Norm()
+	}
+	bias := rng.NormVec(rows)
+	out := numeric.NewFrame(n, rows)
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m.MulFrameBias(x, bias, out)
+		}
+	})
+	flops := 2 * float64(n) * float64(rows) * float64(cols)
+	return flops / float64(res.NsPerOp())
+}
+
+// BuildMeasurement is the serial-vs-parallel offline build comparison.
+type BuildMeasurement struct {
+	SerialMillis   float64 `json:"build_ms_serial"`
+	ParallelMillis float64 `json:"build_ms_parallel"`
+	// Speedup is serial/parallel wall clock. ~1.0 on a single-core box;
+	// CI runs the smoke with GOMAXPROCS=2 and asserts > 1.0.
+	Speedup float64 `json:"build_speedup"`
+}
+
+// BuildPair times the full offline pipeline (world synthesis, perf
+// matrix, clustering) at the smoke sizes with BuildWorkers=1 and with
+// the full CPU budget, best-of-2 each, and verifies the two frameworks
+// produced bit-identical performance matrices — the determinism contract
+// the parallel build must keep. Serial runs first so the parallel pass
+// cannot borrow its page-cache warmup advantage.
+func BuildPair() (BuildMeasurement, error) {
+	return BuildPairAt(core.Options{Task: datahub.TaskNLP, Seed: 7, Sizes: Sizes})
+}
+
+// BuildPairAt is BuildPair at caller-chosen build options; BuildWorkers
+// in opts is overridden (that is the axis being measured).
+func BuildPairAt(opts core.Options) (BuildMeasurement, error) {
+	build := func(workers int) (*core.Framework, float64, error) {
+		opts := opts
+		opts.BuildWorkers = workers
+		best := math.Inf(1)
+		var fw *core.Framework
+		for i := 0; i < 2; i++ {
+			start := time.Now()
+			f, err := core.Build(opts)
+			if err != nil {
+				return nil, 0, err
+			}
+			if ms := float64(time.Since(start).Microseconds()) / 1000; ms < best {
+				best = ms
+			}
+			fw = f
+		}
+		return fw, best, nil
+	}
+	serialFW, serialMS, err := build(1)
+	if err != nil {
+		return BuildMeasurement{}, err
+	}
+	parallelFW, parallelMS, err := build(0)
+	if err != nil {
+		return BuildMeasurement{}, err
+	}
+	if err := matricesBitIdentical(serialFW, parallelFW); err != nil {
+		return BuildMeasurement{}, err
+	}
+	out := BuildMeasurement{SerialMillis: serialMS, ParallelMillis: parallelMS}
+	if parallelMS > 0 {
+		out.Speedup = serialMS / parallelMS
+	}
+	return out, nil
+}
+
+// matricesBitIdentical compares every curve of two frameworks' perf
+// matrices bit for bit; any drift means the parallel build broke the
+// determinism rule and must fail the smoke, not just slow it down.
+func matricesBitIdentical(a, b *core.Framework) error {
+	am, bm := a.Matrix, b.Matrix
+	if len(am.Entries) != len(bm.Entries) {
+		return fmt.Errorf("benchkit: parallel build has %d matrix entries, serial %d", len(bm.Entries), len(am.Entries))
+	}
+	for k, ae := range am.Entries {
+		be, ok := bm.Entries[k]
+		if !ok {
+			return fmt.Errorf("benchkit: parallel build missing matrix entry %q/%q", ae.Model, ae.Dataset)
+		}
+		if len(ae.Val) != len(be.Val) || len(ae.Test) != len(be.Test) {
+			return fmt.Errorf("benchkit: curve lengths differ for %q/%q", ae.Model, ae.Dataset)
+		}
+		for i := range ae.Val {
+			if math.Float64bits(ae.Val[i]) != math.Float64bits(be.Val[i]) {
+				return fmt.Errorf("benchkit: val curve diverges for %q/%q at epoch %d", ae.Model, ae.Dataset, i)
+			}
+		}
+		for i := range ae.Test {
+			if math.Float64bits(ae.Test[i]) != math.Float64bits(be.Test[i]) {
+				return fmt.Errorf("benchkit: test curve diverges for %q/%q at epoch %d", ae.Model, ae.Dataset, i)
+			}
+		}
+	}
+	return nil
 }

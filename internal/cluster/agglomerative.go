@@ -63,12 +63,21 @@ func (c Clustering) Singletons() []int {
 // Setting maxClusters > 0 additionally keeps merging (ignoring threshold)
 // until at most maxClusters remain; pass 0 to rely on the threshold alone.
 func Agglomerative(vecs [][]float64, dist Distance, threshold float64, maxClusters int) Clustering {
+	return AgglomerativeWith(vecs, dist, threshold, maxClusters, 1)
+}
+
+// AgglomerativeWith is Agglomerative with the O(n²) pairwise-distance
+// precompute fanned out across a worker budget (<= 0 means GOMAXPROCS).
+// The merge loop itself stays serial — each merge decision depends on the
+// previous one — but it only reads the precomputed matrix, so the
+// clustering is bit-identical for every worker count.
+func AgglomerativeWith(vecs [][]float64, dist Distance, threshold float64, maxClusters, workers int) Clustering {
 	agglomerativePasses.Add(1)
 	n := len(vecs)
 	if n == 0 {
 		return Clustering{}
 	}
-	d := Matrix(vecs, dist)
+	d := MatrixWith(vecs, dist, workers)
 
 	// active clusters as member lists
 	members := make([][]int, n)

@@ -6,7 +6,10 @@ package cluster
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"twophase/internal/numeric"
 )
@@ -53,14 +56,53 @@ func Cosine(a, b []float64) float64 { return 1 - numeric.CosineSimilarity(a, b) 
 
 // Matrix precomputes the pairwise distances of vecs under dist.
 func Matrix(vecs [][]float64, dist Distance) *numeric.Matrix {
+	return MatrixWith(vecs, dist, 1)
+}
+
+// MatrixWith is Matrix with the rows fanned out across a worker budget
+// (<= 0 means GOMAXPROCS). Each (i, j) pair is computed exactly once by
+// the worker that owns row i, which writes the two mirror cells — no two
+// workers ever touch the same cell, and dist must be pure, so the matrix
+// is identical for every worker count.
+func MatrixWith(vecs [][]float64, dist Distance, workers int) *numeric.Matrix {
 	n := len(vecs)
 	m := numeric.NewMatrix(n, n)
-	for i := 0; i < n; i++ {
+	fillRow := func(i int) {
 		for j := i + 1; j < n; j++ {
 			d := dist(vecs[i], vecs[j])
 			m.Set(i, j, d)
 			m.Set(j, i, d)
 		}
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 2 {
+		for i := 0; i < n; i++ {
+			fillRow(i)
+		}
+		return m
+	}
+	// Row i holds n-i-1 pairs, so rows are claimed dynamically to keep
+	// late (cheap) rows from idling workers that drew early (long) ones.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fillRow(i)
+			}
+		}()
+	}
+	wg.Wait()
 	return m
 }

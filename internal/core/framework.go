@@ -14,6 +14,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"twophase/internal/datahub"
@@ -49,6 +50,13 @@ type Options struct {
 	// negative uses one worker per CPU. Results are identical across
 	// settings.
 	Workers int
+	// BuildWorkers bounds the parallelism of the offline build itself:
+	// perf-matrix cells, per-model recall vectors and the clustering
+	// distance precompute all fan out under this budget. 0 (the default)
+	// uses one worker per CPU; 1 forces a serial build. The built
+	// framework is bit-identical for every setting — parallel stages
+	// write preassigned cells and never reassociate a reduction.
+	BuildWorkers int
 }
 
 // Framework bundles the offline artifacts needed to serve online
@@ -63,6 +71,10 @@ type Framework struct {
 	Recall  recall.Options
 	Seed    uint64
 	Workers int
+	// BuildWorkers is the resolved offline-parallelism budget this
+	// framework was built with (>= 1); bulk experiment utilities such as
+	// OracleAccuracies reuse it.
+	BuildWorkers int
 
 	// Stages records, per offline stage, whether this framework loaded a
 	// persisted artifact or recomputed the stage.
@@ -140,6 +152,10 @@ func build(opts Options, art Artifacts) (*Framework, error) {
 	if hp == (trainer.Hyperparams{}) {
 		hp = trainer.Default(opts.Task)
 	}
+	buildWorkers := opts.BuildWorkers
+	if buildWorkers <= 0 {
+		buildWorkers = runtime.GOMAXPROCS(0)
+	}
 
 	// Stage 2: performance matrix.
 	var stages Stages
@@ -151,7 +167,7 @@ func build(opts Options, art Artifacts) (*Framework, error) {
 		m = art.Matrix
 		stages.MatrixLoaded = true
 	} else {
-		m, err = perfmatrix.Build(repo, cat.Benchmarks(), hp, opts.Seed)
+		m, err = perfmatrix.Build(repo, cat.Benchmarks(), hp, opts.Seed, buildWorkers)
 		if err != nil {
 			return nil, fmt.Errorf("core: performance matrix: %w", err)
 		}
@@ -169,7 +185,7 @@ func build(opts Options, art Artifacts) (*Framework, error) {
 		// only invalidates this stage; fall through and recompute it.
 	}
 	if off == nil {
-		off, err = recall.PrepareOffline(m, ro)
+		off, err = recall.PrepareOfflineWith(m, ro, buildWorkers)
 		if err != nil {
 			return nil, fmt.Errorf("core: offline recall artifacts: %w", err)
 		}
@@ -177,17 +193,18 @@ func build(opts Options, art Artifacts) (*Framework, error) {
 
 	// Stage 4: assembly.
 	return &Framework{
-		Task:    opts.Task,
-		World:   w,
-		Catalog: cat,
-		Repo:    repo,
-		Matrix:  m,
-		HP:      hp,
-		Recall:  ro,
-		Seed:    opts.Seed,
-		Workers: opts.Workers,
-		Stages:  stages,
-		offline: off,
+		Task:         opts.Task,
+		World:        w,
+		Catalog:      cat,
+		Repo:         repo,
+		Matrix:       m,
+		HP:           hp,
+		Recall:       ro,
+		Seed:         opts.Seed,
+		Workers:      opts.Workers,
+		BuildWorkers: buildWorkers,
+		Stages:       stages,
+		offline:      off,
 	}, nil
 }
 
@@ -517,18 +534,18 @@ func (f *Framework) SuccessiveHalving(ctx context.Context, target *datahub.Datas
 // OracleAccuracies brute-force fine-tunes every repository model on the
 // target and returns each model's final test accuracy — the ground truth
 // used by the evaluation (Fig. 1, Fig. 5, Table VII). It is an
-// experiment-support utility, not part of the selection pipeline.
+// experiment-support utility, not part of the selection pipeline. Runs
+// fan out under the framework's BuildWorkers budget; each run owns an
+// independent RNG stream, so the accuracies are identical at any width.
 func (f *Framework) OracleAccuracies(ctx context.Context, target *datahub.Dataset) (map[string]float64, error) {
-	out := make(map[string]float64, f.Repo.Len())
-	for _, m := range f.Repo.Models() {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		curve, err := trainer.FineTune(m, target, f.HP, f.Seed, "oracle")
-		if err != nil {
-			return nil, err
-		}
-		out[m.Name] = curve.FinalTest()
+	models := f.Repo.Models()
+	curves, err := trainer.FineTuneGrid(ctx, models, []*datahub.Dataset{target}, f.HP, f.Seed, "oracle", f.BuildWorkers)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(models))
+	for i, m := range models {
+		out[m.Name] = curves[i].FinalTest()
 	}
 	return out, nil
 }

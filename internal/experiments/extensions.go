@@ -167,7 +167,7 @@ func AblationSubsetMatrix(e *Env) (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				m, err := perfmatrix.Build(fw.Repo, cat.Benchmarks(), fw.HP, e.Seed)
+				m, err := perfmatrix.Build(fw.Repo, cat.Benchmarks(), fw.HP, e.Seed, 0)
 				if err != nil {
 					return nil, err
 				}

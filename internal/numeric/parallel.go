@@ -1,0 +1,146 @@
+package numeric
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Row-block parallelism for the batched kernels.
+//
+// MulFrame-family kernels partition the *output frame's rows* across a
+// bounded set of goroutines: each worker runs the ordinary serial kernel
+// on a contiguous row slice, so every output element keeps its
+// single-accumulator ascending-index reduction and the result is
+// bit-identical to the serial pass — parallelism only reorders work
+// across *independent* output elements, which the determinism rule (see
+// Frame) explicitly permits.
+//
+// Dispatch is throttled two ways so small frames and already-saturated
+// callers never pay for it:
+//
+//   - a size threshold: frames below parallelMinFlops multiply-adds run
+//     serially — goroutine handoff costs more than it saves there;
+//   - a process-wide helper budget: at most maxKernelWorkers-1 helper
+//     goroutines exist across all concurrent kernels. A kernel invoked
+//     from an already-parallel stage (perf-matrix cells, per-round
+//     candidate training) finds no spare helpers and degrades to the
+//     serial path instead of oversubscribing the scheduler.
+//
+// Results never depend on how many helpers were granted.
+
+// parallelMinFlops is the kernel size (N*Rows*Cols multiply-adds) below
+// which row-block dispatch is not attempted: ~256k FMAs is roughly 100µs
+// of serial work, an order of magnitude above goroutine handoff cost.
+const parallelMinFlops = 1 << 18
+
+// minParallelRows is the smallest row block one helper is worth: blocks
+// smaller than half an L1 tile would spend their time on dispatch.
+const minParallelRows = 32
+
+// maxKernelWorkers bounds the total number of goroutines (the caller
+// plus helpers) computing frame kernels at any instant, process-wide.
+// Tests may lower or raise it; production leaves it at GOMAXPROCS.
+var maxKernelWorkers int64 = int64(runtime.GOMAXPROCS(0))
+
+// kernelHelpers counts currently-running helper goroutines across all
+// in-flight kernels (the callers themselves are not counted).
+var kernelHelpers atomic.Int64
+
+// reserveKernelHelpers grabs up to want helper slots from the global
+// budget without blocking and returns how many it got (possibly 0). The
+// caller must release exactly that many afterwards.
+func reserveKernelHelpers(want int) int {
+	if want <= 0 {
+		return 0
+	}
+	for {
+		cur := kernelHelpers.Load()
+		avail := maxKernelWorkers - 1 - cur
+		if avail <= 0 {
+			return 0
+		}
+		take := int64(want)
+		if take > avail {
+			take = avail
+		}
+		if kernelHelpers.CompareAndSwap(cur, cur+take) {
+			return int(take)
+		}
+	}
+}
+
+func releaseKernelHelpers(n int) {
+	if n > 0 {
+		kernelHelpers.Add(-int64(n))
+	}
+}
+
+// mulFrameAuto picks serial vs row-block parallel execution for one
+// batched multiply. The choice affects wall clock only, never bits.
+func mulFrameAuto(m *Matrix, x *Frame, bias []float64, out *Frame) {
+	want := frameKernelWorkers(x.N, m.Rows, m.Cols)
+	if want <= 1 {
+		mulFrame(m, x, bias, out)
+		return
+	}
+	helpers := reserveKernelHelpers(want - 1)
+	if helpers == 0 {
+		mulFrame(m, x, bias, out)
+		return
+	}
+	defer releaseKernelHelpers(helpers)
+	mulFrameParallel(m, x, bias, out, helpers+1)
+}
+
+// frameKernelWorkers sizes the ideal worker count for an N-row kernel
+// before consulting the global budget: 1 below the flops threshold, else
+// bounded by the row count (each worker needs a meaningful block) and
+// the process-wide cap.
+func frameKernelWorkers(n, rows, cols int) int {
+	flops := n * rows * cols
+	if flops < parallelMinFlops || n < 2*minParallelRows {
+		return 1
+	}
+	w := n / minParallelRows
+	if max := int(maxKernelWorkers); w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// mulFrameParallel runs the serial kernel on `workers` contiguous row
+// blocks of x/out concurrently. Each block is an independent sub-frame:
+// no two goroutines touch the same output element, and within a block
+// the element-level reduction is exactly the serial kernel's, so the
+// result is bit-identical to mulFrame for every worker count.
+func mulFrameParallel(m *Matrix, x *Frame, bias []float64, out *Frame, workers int) {
+	if workers > x.N {
+		workers = x.N
+	}
+	if workers <= 1 {
+		mulFrame(m, x, bias, out)
+		return
+	}
+	// Even split with the remainder spread over the first blocks, so
+	// block sizes differ by at most one row.
+	base, rem := x.N/workers, x.N%workers
+	var wg sync.WaitGroup
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + base
+		if w < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			mulFrame(m, x.Slice(lo, hi), bias, out.Slice(lo, hi))
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}

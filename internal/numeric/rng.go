@@ -8,10 +8,7 @@
 // datasets, training runs) owns an independent, reproducible stream.
 package numeric
 
-import (
-	"hash/fnv"
-	"math"
-)
+import "math"
 
 // RNG is a deterministic SplitMix64 pseudo-random generator.
 //
@@ -32,12 +29,31 @@ func NewRNG(seed uint64) *RNG {
 // name parts. Identical (seed, parts) pairs always produce identical
 // streams; distinct parts produce statistically independent streams.
 func NewNamedRNG(seed uint64, parts ...string) *RNG {
-	h := fnv.New64a()
+	r := NamedRNG(seed, parts...)
+	return &r
+}
+
+// NamedRNG is NewNamedRNG returning the generator by value, for callers
+// that embed the RNG in a larger struct and cannot afford the heap
+// allocation per run. The streams are identical to NewNamedRNG's.
+func NamedRNG(seed uint64, parts ...string) RNG {
+	// Inlined FNV-1a (same constants and byte order as hash/fnv.New64a),
+	// kept hand-rolled so deriving a stream never heap-allocates a hasher
+	// or byte-slice conversions on the hot candidate-run path.
+	const (
+		fnvOffset64 = 14695981039346656037
+		fnvPrime64  = 1099511628211
+	)
+	h := uint64(fnvOffset64)
 	for _, p := range parts {
-		_, _ = h.Write([]byte(p))
-		_, _ = h.Write([]byte{0x1f}) // separator so ("ab","c") != ("a","bc")
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= fnvPrime64
+		}
+		h ^= 0x1f // separator so ("ab","c") != ("a","bc")
+		h *= fnvPrime64
 	}
-	return &RNG{state: seed ^ h.Sum64()}
+	return RNG{state: seed ^ h}
 }
 
 // Uint64 returns the next raw 64-bit value of the stream.

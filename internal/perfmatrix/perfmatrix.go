@@ -6,10 +6,10 @@
 package perfmatrix
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
-	"runtime"
 	"sync"
 
 	"twophase/internal/datahub"
@@ -57,9 +57,12 @@ type Matrix struct {
 func key(model, dataset string) string { return model + "\x00" + dataset }
 
 // Build fine-tunes every model in the repository on every benchmark
-// dataset with the given hyperparameters, in parallel across runs. The
-// result is deterministic: each run draws from its own named RNG stream.
-func Build(repo *modelhub.Repository, benchmarks []*datahub.Dataset, hp trainer.Hyperparams, seed uint64) (*Matrix, error) {
+// dataset with the given hyperparameters. Cells train concurrently under
+// the workers budget (<= 0 means GOMAXPROCS) via trainer.FineTuneGrid,
+// which preassigns every result to its (model, dataset) cell and reports
+// the first error in index order — the matrix, and any build failure, is
+// bit-identical for every worker count.
+func Build(repo *modelhub.Repository, benchmarks []*datahub.Dataset, hp trainer.Hyperparams, seed uint64, workers int) (*Matrix, error) {
 	if len(benchmarks) == 0 {
 		return nil, fmt.Errorf("perfmatrix: no benchmark datasets")
 	}
@@ -75,7 +78,8 @@ func Build(repo *modelhub.Repository, benchmarks []*datahub.Dataset, hp trainer.
 		},
 		Entries: make(map[string]*Entry, repo.Len()*len(benchmarks)),
 	}
-	for _, mod := range repo.Models() {
+	models := repo.Models()
+	for _, mod := range models {
 		m.Models = append(m.Models, mod.Name)
 	}
 	for _, d := range benchmarks {
@@ -85,44 +89,20 @@ func Build(repo *modelhub.Repository, benchmarks []*datahub.Dataset, hp trainer.
 		m.Datasets = append(m.Datasets, d.Name)
 	}
 
-	type job struct {
-		model   *modelhub.Model
-		dataset *datahub.Dataset
+	curves, err := trainer.FineTuneGrid(context.Background(), models, benchmarks, hp, seed, "offline-matrix", workers)
+	if err != nil {
+		return nil, err
 	}
-	jobs := make(chan job)
-	var mu sync.Mutex
-	var firstErr error
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				curve, err := trainer.FineTune(j.model, j.dataset, hp, seed, "offline-matrix")
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				m.Entries[key(j.model.Name, j.dataset.Name)] = &Entry{
-					Model:   j.model.Name,
-					Dataset: j.dataset.Name,
-					Val:     curve.Val,
-					Test:    curve.Test,
-				}
-				mu.Unlock()
+	for mi, mod := range models {
+		for di, d := range benchmarks {
+			curve := curves[mi*len(benchmarks)+di]
+			m.Entries[key(mod.Name, d.Name)] = &Entry{
+				Model:   mod.Name,
+				Dataset: d.Name,
+				Val:     curve.Val,
+				Test:    curve.Test,
 			}
-		}()
-	}
-	for _, mod := range repo.Models() {
-		for _, d := range benchmarks {
-			jobs <- job{mod, d}
 		}
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
 	}
 	return m, nil
 }

@@ -1,6 +1,7 @@
 package perfmatrix
 
 import (
+	"math"
 	"path/filepath"
 	"testing"
 
@@ -27,7 +28,7 @@ func smallFixture(t *testing.T) (*modelhub.Repository, []*datahub.Dataset, *Matr
 		}
 		benches = append(benches, d)
 	}
-	m, err := Build(repo, benches, trainer.Default(datahub.TaskNLP), w.Seed)
+	m, err := Build(repo, benches, trainer.Default(datahub.TaskNLP), w.Seed, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,10 +73,10 @@ func TestBuildRejectsTargets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Build(repo, []*datahub.Dataset{target}, trainer.Default(datahub.TaskNLP), 42); err == nil {
+	if _, err := Build(repo, []*datahub.Dataset{target}, trainer.Default(datahub.TaskNLP), 42, 0); err == nil {
 		t.Fatal("target dataset accepted as benchmark")
 	}
-	if _, err := Build(repo, nil, trainer.Default(datahub.TaskNLP), 42); err == nil {
+	if _, err := Build(repo, nil, trainer.Default(datahub.TaskNLP), 42, 0); err == nil {
 		t.Fatal("empty benchmark list accepted")
 	}
 }
@@ -88,6 +89,32 @@ func TestBuildDeterministicDespiteParallelism(t *testing.T) {
 		for i := range ea.Val {
 			if ea.Val[i] != eb.Val[i] {
 				t.Fatal("parallel builds diverged")
+			}
+		}
+	}
+}
+
+// TestBuildWorkerCountInvariant pins the BuildWorkers contract at the
+// matrix level: serial (1) and oversubscribed (3 workers for 12 cells)
+// builds must agree bit for bit on every curve point with the default-
+// budget fixture.
+func TestBuildWorkerCountInvariant(t *testing.T) {
+	repo, benches, base := smallFixture(t)
+	for _, workers := range []int{1, 3} {
+		m, err := Build(repo, benches, trainer.Default(datahub.TaskNLP), 42, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, eb := range base.Entries {
+			em, ok := m.Entries[k]
+			if !ok {
+				t.Fatalf("workers=%d: missing entry %q", workers, k)
+			}
+			for i := range eb.Val {
+				if math.Float64bits(eb.Val[i]) != math.Float64bits(em.Val[i]) ||
+					math.Float64bits(eb.Test[i]) != math.Float64bits(em.Test[i]) {
+					t.Fatalf("workers=%d: curve %q diverges at epoch %d", workers, k, i)
+				}
 			}
 		}
 	}

@@ -7,6 +7,9 @@ package recall
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"twophase/internal/cluster"
 	"twophase/internal/datahub"
@@ -93,33 +96,80 @@ type Offline struct {
 
 // PrepareOffline computes the target-independent half of coarse recall.
 func PrepareOffline(m *perfmatrix.Matrix, opts Options) (*Offline, error) {
+	return PrepareOfflineWith(m, opts, 1)
+}
+
+// PrepareOfflineWith is PrepareOffline under an explicit worker budget
+// (<= 0 means GOMAXPROCS): per-model performance vectors and the O(n²)
+// pairwise-distance precompute inside clustering fan out across workers.
+// Parallelism never touches the merge order or any per-vector reduction,
+// so the Offline — and the Artifact persisted from it — is bit-identical
+// for every worker count.
+func PrepareOfflineWith(m *perfmatrix.Matrix, opts Options, workers int) (*Offline, error) {
 	opts.fill()
-	names, vecs, avgAcc, err := matrixVectors(m)
+	names, vecs, avgAcc, err := matrixVectors(m, workers)
 	if err != nil {
 		return nil, err
 	}
 	dist := cluster.TopKDistance(opts.SimilarityK)
-	clustering := cluster.Agglomerative(vecs.Rows2D(), dist, opts.Threshold, 0)
+	clustering := cluster.AgglomerativeWith(vecs.Rows2D(), dist, opts.Threshold, 0, workers)
 	return assembleOffline(opts, names, vecs, avgAcc, dist, clustering), nil
 }
 
 // matrixVectors extracts every model's performance vector and benchmark
-// average from the matrix, in matrix model order. Vectors land in one
+// average from the matrix, in matrix model order, fanning the rows out
+// across the worker budget (each worker owns whole rows of the output
+// frame, so contents are order-independent). Vectors land in one
 // contiguous frame, a row per model.
-func matrixVectors(m *perfmatrix.Matrix) (names []string, vecs *numeric.Frame, avgAcc []float64, err error) {
+func matrixVectors(m *perfmatrix.Matrix, workers int) (names []string, vecs *numeric.Frame, avgAcc []float64, err error) {
 	names = m.Models
 	if len(names) == 0 {
 		return nil, nil, nil, fmt.Errorf("recall: empty performance matrix")
 	}
 	vecs = numeric.NewFrame(len(names), len(m.Datasets))
 	avgAcc = make([]float64, len(names))
-	for i, name := range names {
-		v, err := m.Vector(name)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(names) {
+		workers = len(names)
+	}
+	errs := make([]error, len(names))
+	fillRow := func(i int) {
+		v, err := m.Vector(names[i])
 		if err != nil {
-			return nil, nil, nil, err
+			errs[i] = err
+			return
 		}
 		copy(vecs.Row(i), v)
 		avgAcc[i] = numeric.Mean(v)
+	}
+	if workers <= 1 {
+		for i := range names {
+			fillRow(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(names) {
+						return
+					}
+					fillRow(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, nil, err
+		}
 	}
 	return names, vecs, avgAcc, nil
 }
@@ -236,7 +286,7 @@ func Rehydrate(m *perfmatrix.Matrix, opts Options, a *Artifact) (*Offline, error
 	if a.Seed != m.Seed {
 		return nil, fmt.Errorf("recall: artifact seed %d, want %d", a.Seed, m.Seed)
 	}
-	names, vecs, avgAcc, err := matrixVectors(m)
+	names, vecs, avgAcc, err := matrixVectors(m, 0)
 	if err != nil {
 		return nil, err
 	}

@@ -29,7 +29,7 @@ func fixture(t *testing.T) (*perfmatrix.Matrix, *modelhub.Repository, *datahub.D
 		}
 		benches = append(benches, d)
 	}
-	m, err := perfmatrix.Build(repo, benches, trainer.Default(datahub.TaskNLP), w.Seed)
+	m, err := perfmatrix.Build(repo, benches, trainer.Default(datahub.TaskNLP), w.Seed, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,7 +27,7 @@ func parallelFixture(t *testing.T) ([]*modelhub.Model, *datahub.Dataset, *perfma
 		t.Fatal(err)
 	}
 	hp := trainer.Default(datahub.TaskNLP)
-	m, err := perfmatrix.Build(repo, cat.Benchmarks(), hp, w.Seed)
+	m, err := perfmatrix.Build(repo, cat.Benchmarks(), hp, w.Seed, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,7 +28,7 @@ func fixture(t *testing.T) ([]*modelhub.Model, *perfmatrix.Matrix, *datahub.Data
 		}
 		benches = append(benches, d)
 	}
-	m, err := perfmatrix.Build(repo, benches, trainer.Default(datahub.TaskNLP), w.Seed)
+	m, err := perfmatrix.Build(repo, benches, trainer.Default(datahub.TaskNLP), w.Seed, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,7 +26,7 @@ func trendFixture(t *testing.T) *perfmatrix.Matrix {
 		}
 		benches = append(benches, d)
 	}
-	m, err := perfmatrix.Build(repo, benches, trainer.Default(datahub.TaskNLP), w.Seed)
+	m, err := perfmatrix.Build(repo, benches, trainer.Default(datahub.TaskNLP), w.Seed, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

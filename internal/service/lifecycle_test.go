@@ -351,6 +351,54 @@ func TestServiceWarm(t *testing.T) {
 	}
 }
 
+// TestWarmResultsPerWorldTimings: WarmResults warms concurrently under
+// the BuildWorkers budget and reports one timed result per key, in keys
+// order, with failures isolated to their own world.
+func TestWarmResultsPerWorldTimings(t *testing.T) {
+	s := newTestService(t, Options{BuildWorkers: 2})
+	ctx := context.Background()
+	keys := []lifecycle.Key{
+		{Task: datahub.TaskNLP, Seed: 42},
+		{Task: datahub.TaskCV, Seed: 42},
+	}
+	results, err := s.WarmResults(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(keys) {
+		t.Fatalf("got %d results for %d keys", len(results), len(keys))
+	}
+	for i, r := range results {
+		if r.Key != keys[i] {
+			t.Fatalf("result %d is for %v, want %v — keys order lost", i, r.Key, keys[i])
+		}
+		if r.Err != nil {
+			t.Fatalf("warm %v: %v", r.Key, r.Err)
+		}
+		if r.Duration <= 0 {
+			t.Fatalf("warm %v reported no duration", r.Key)
+		}
+	}
+	if s.Builds() != 2 {
+		t.Fatalf("warm ran %d builds, want 2", s.Builds())
+	}
+
+	// A bad world fails its own slot without poisoning the good one.
+	mixed, err := s.WarmResults(ctx, []lifecycle.Key{
+		{Task: "audio", Seed: 42},
+		{Task: datahub.TaskNLP, Seed: 42},
+	})
+	if err == nil {
+		t.Fatal("warm of unknown task succeeded")
+	}
+	if mixed[0].Err == nil {
+		t.Fatal("unknown task warmed without error")
+	}
+	if mixed[1].Err != nil {
+		t.Fatalf("healthy world poisoned by failing sibling: %v", mixed[1].Err)
+	}
+}
+
 func TestParseSeedPolicy(t *testing.T) {
 	cases := []struct {
 		in   string

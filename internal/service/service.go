@@ -61,6 +61,12 @@ type Options struct {
 	// fine selection. 0 means one worker per CPU; 1 forces the
 	// sequential path. Results are identical either way.
 	Workers int
+	// BuildWorkers bounds offline-build parallelism (perf-matrix cells,
+	// recall vectors, clustering distances — see core.Options) and, via
+	// Warm, how many worlds build at once. 0 means one worker per CPU;
+	// 1 forces serial builds. Built frameworks are bit-identical at any
+	// setting.
+	BuildWorkers int
 	// Concurrency bounds how many selections run at once in SelectAll.
 	// 0 means one per CPU.
 	Concurrency int
@@ -134,6 +140,9 @@ type Service struct {
 func New(opts Options) (*Service, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.BuildWorkers <= 0 {
+		opts.BuildWorkers = runtime.GOMAXPROCS(0)
 	}
 	if opts.Concurrency <= 0 {
 		opts.Concurrency = runtime.GOMAXPROCS(0)
@@ -219,6 +228,7 @@ func (s *Service) load(ctx context.Context, task string, seed uint64) (*core.Fra
 	opts.Task = task
 	opts.Seed = seed
 	opts.Workers = s.opts.Workers
+	opts.BuildWorkers = s.opts.BuildWorkers
 	key := matrixKey(task, seed)
 	if s.st != nil {
 		m, err := s.st.GetMatrix(key)
@@ -395,20 +405,54 @@ func (s *Service) CacheStats() lifecycle.Stats { return s.mgr.Stats() }
 // first.
 func (s *Service) CacheEntries() []lifecycle.EntryStats { return s.mgr.Entries() }
 
+// WarmResult records the outcome of warming one world: how long this
+// caller waited for the framework (the build duration on a cold cache,
+// near zero when another waiter already built it) and the error, if any.
+type WarmResult struct {
+	Key      lifecycle.Key
+	Duration time.Duration
+	Err      error
+}
+
 // Warm pre-builds the given worlds concurrently so the first real
 // request hits a resident framework; servers call it before reporting
 // ready. Each world goes through the same admission-and-settle path as a
 // request, so a failed warm build returns its seed-quota slot exactly
 // like a failed request does.
 func (s *Service) Warm(ctx context.Context, keys []lifecycle.Key) error {
+	_, err := s.WarmResults(ctx, keys)
+	return err
+}
+
+// WarmResults is Warm returning the per-world timings in keys order, so
+// serving binaries can log each world's build duration. Worlds warm
+// concurrently, but no more than the BuildWorkers budget at once — each
+// build already fans its pipeline stages out under the same budget, so
+// an unbounded warm of W worlds would oversubscribe the box W-fold right
+// at startup. The joined error aggregates every failed world.
+func (s *Service) WarmResults(ctx context.Context, keys []lifecycle.Key) ([]WarmResult, error) {
+	results := make([]WarmResult, len(keys))
 	errs := make([]error, len(keys))
+	sem := make(chan struct{}, s.opts.BuildWorkers)
 	var wg sync.WaitGroup
 	for i, k := range keys {
 		wg.Add(1)
 		go func(i int, k lifecycle.Key) {
 			defer wg.Done()
+			results[i].Key = k
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				results[i].Err = ctx.Err()
+				errs[i] = fmt.Errorf("warm %s: %w", k, ctx.Err())
+				return
+			}
+			defer func() { <-sem }()
+			start := time.Now()
 			h, err := s.acquire(ctx, k.Task, k.Seed)
+			results[i].Duration = time.Since(start)
 			if err != nil {
+				results[i].Err = err
 				errs[i] = fmt.Errorf("warm %s: %w", k, err)
 				return
 			}
@@ -416,7 +460,7 @@ func (s *Service) Warm(ctx context.Context, keys []lifecycle.Key) error {
 		}(i, k)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	return results, errors.Join(errs...)
 }
 
 // Targets lists the task family's target dataset names in catalog order.

@@ -260,7 +260,7 @@ func TestMatrixRoundtrip(t *testing.T) {
 		}
 		benches = append(benches, d)
 	}
-	m, err := perfmatrix.Build(repo, benches, trainer.Default(datahub.TaskNLP), 42)
+	m, err := perfmatrix.Build(repo, benches, trainer.Default(datahub.TaskNLP), 42, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

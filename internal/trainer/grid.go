@@ -1,0 +1,72 @@
+package trainer
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"twophase/internal/datahub"
+	"twophase/internal/modelhub"
+)
+
+// FineTuneGrid fine-tunes every (model, dataset) cell of the grid and
+// returns the curves in row-major order: curves[mi*len(datasets)+di] is
+// models[mi] trained on datasets[di]. Cells train concurrently under the
+// given worker budget (<= 0 means GOMAXPROCS), but the output is fully
+// order-independent:
+//
+//   - each cell owns an independent RNG stream (seed, model, dataset,
+//     salt), so training order cannot perturb any other cell;
+//   - results land in preassigned slots, never a shared map;
+//   - on failure the error reported is the first in *index* order, not
+//     whichever worker lost the race.
+//
+// This makes FineTuneGrid(workers=1) bit-identical to FineTuneGrid(
+// workers=N) for every N — the property the offline-build determinism
+// suites pin. Workers observe ctx between cell pickups, so a canceled
+// build stops scheduling new cells and returns ctx.Err().
+func FineTuneGrid(ctx context.Context, models []*modelhub.Model, datasets []*datahub.Dataset, hp Hyperparams, seed uint64, salt string, workers int) ([]Curve, error) {
+	nCells := len(models) * len(datasets)
+	curves := make([]Curve, nCells)
+	if nCells == 0 {
+		return curves, ctx.Err()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > nCells {
+		workers = nCells
+	}
+
+	errs := make([]error, nCells)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= nCells {
+					return
+				}
+				mi, di := i/len(datasets), i%len(datasets)
+				curves[i], errs[i] = FineTune(models[mi], datasets[di], hp, seed, salt)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return curves, nil
+}

@@ -82,19 +82,21 @@ type Run struct {
 	Dataset *datahub.Dataset
 	HP      Hyperparams
 
-	weights *numeric.Matrix // classes x FeatureDim
+	weights numeric.Matrix // classes x FeatureDim
 	bias    []float64
 
 	// Frozen feature frames, shared read-only with the model's
 	// extraction cache — never written through.
 	featTrain, featVal, featTest *numeric.Frame
-	rng                          *numeric.RNG
+	rng                          numeric.RNG
 	curve                        Curve
 
-	// scratch buffers reused across steps and epochs
+	// scratch buffers reused across steps and epochs. All float64
+	// scratch (weights, bias, logits, probs, both eval-logit frames and
+	// the curve) is carved from one backing slab — see NewRun.
 	logits, probs        []float64
-	valLogits, tstLogits *numeric.Frame // per-split eval logits
-	perm                 []int          // epoch shuffle order
+	valLogits, tstLogits numeric.Frame // per-split eval logits
+	perm                 []int         // epoch shuffle order
 }
 
 // NewRun extracts the frozen features once and initializes a fresh head.
@@ -109,19 +111,35 @@ func NewRun(m *modelhub.Model, d *datahub.Dataset, hp Hyperparams, seed uint64, 
 		return nil, fmt.Errorf("trainer: model %q task %q does not match dataset %q task %q", m.Name, m.Task, d.Name, d.Task)
 	}
 	classes := d.Classes
+	valN, tstN := d.Val.Len(), d.Test.Len()
+	// Every float64 buffer the run owns comes out of one backing slab —
+	// weights, bias, per-example logit/prob scratch, both eval-logit
+	// frames and the accuracy curve (capacity for the full epoch budget,
+	// so in-budget appends never reallocate). One allocation instead of
+	// eight keeps a candidate run at a handful of allocs total; see
+	// BenchmarkCandidateRun. Each carve is capacity-limited so an
+	// overflowing append can never silently bleed into its neighbor.
+	slab := make([]float64, classes*(modelhub.FeatureDim+3+valN+tstN)+2*hp.Epochs)
+	carve := func(n int) []float64 {
+		s := slab[:n:n]
+		slab = slab[n:]
+		return s
+	}
 	r := &Run{
 		Model:     m,
 		Dataset:   d,
 		HP:        hp,
-		weights:   numeric.NewMatrix(classes, modelhub.FeatureDim),
-		bias:      make([]float64, classes),
-		rng:       numeric.NewNamedRNG(seed, "finetune", m.Name, d.Name, salt),
-		logits:    make([]float64, classes),
-		probs:     make([]float64, classes),
-		valLogits: numeric.NewFrame(d.Val.Len(), classes),
-		tstLogits: numeric.NewFrame(d.Test.Len(), classes),
+		weights:   numeric.Matrix{Rows: classes, Cols: modelhub.FeatureDim, Data: carve(classes * modelhub.FeatureDim)},
+		bias:      carve(classes),
+		rng:       numeric.NamedRNG(seed, "finetune", m.Name, d.Name, salt),
+		logits:    carve(classes),
+		probs:     carve(classes),
+		valLogits: numeric.Frame{N: valN, D: classes, Data: carve(valN * classes)},
+		tstLogits: numeric.Frame{N: tstN, D: classes, Data: carve(tstN * classes)},
 		perm:      make([]int, d.Train.Len()),
 	}
+	r.curve.Val = carve(hp.Epochs)[:0]
+	r.curve.Test = carve(hp.Epochs)[:0]
 	for i := range r.weights.Data {
 		r.weights.Data[i] = r.rng.Norm() * 0.01
 	}
@@ -155,8 +173,8 @@ func (r *Run) TrainEpoch() float64 {
 		}
 		r.stepBatch(order[start:end])
 	}
-	val := r.evaluate(r.featVal, r.valLogits, r.Dataset.Val.Y)
-	test := r.evaluate(r.featTest, r.tstLogits, r.Dataset.Test.Y)
+	val := r.evaluate(r.featVal, &r.valLogits, r.Dataset.Val.Y)
+	test := r.evaluate(r.featTest, &r.tstLogits, r.Dataset.Test.Y)
 	r.curve.Val = append(r.curve.Val, val)
 	r.curve.Test = append(r.curve.Test, test)
 	return val
@@ -209,7 +227,7 @@ func (r *Run) evaluate(feats, logits *numeric.Frame, ys []int) float64 {
 
 // ValAccuracy returns the current validation accuracy without training
 // (useful before the first epoch).
-func (r *Run) ValAccuracy() float64 { return r.evaluate(r.featVal, r.valLogits, r.Dataset.Val.Y) }
+func (r *Run) ValAccuracy() float64 { return r.evaluate(r.featVal, &r.valLogits, r.Dataset.Val.Y) }
 
 // ValProbs returns the current head's class-probability predictions for
 // every validation example (rows sum to 1), one example per frame row.
@@ -227,7 +245,7 @@ func (r *Run) probabilities(feats *numeric.Frame) *numeric.Frame {
 }
 
 // TestAccuracy returns the current held-out test accuracy.
-func (r *Run) TestAccuracy() float64 { return r.evaluate(r.featTest, r.tstLogits, r.Dataset.Test.Y) }
+func (r *Run) TestAccuracy() float64 { return r.evaluate(r.featTest, &r.tstLogits, r.Dataset.Test.Y) }
 
 // FineTune trains to the full epoch budget and returns the curve.
 func FineTune(m *modelhub.Model, d *datahub.Dataset, hp Hyperparams, seed uint64, salt string) (Curve, error) {
