@@ -74,6 +74,14 @@ type document struct {
 	SelectMillisMax float64 `json:"select_ms_max"`
 	SelectEpochs    float64 `json:"select_epochs_avg"`
 
+	// Zero-epoch serving path: one warm lsq selection end to end (closed
+	// -form ridge heads over the whole repository), and the fraction of
+	// this world's targets whose prefiltered two-phase winner matches the
+	// unfiltered one (deterministic at fixed seed/sizes).
+	LSQSelectMicros    float64 `json:"lsq_select_us"`
+	PrefilterAgreement float64 `json:"prefilter_agreement"`
+	PrefilterTopK      int     `json:"prefilter_top_k"`
+
 	// Offline-build and epoch-throughput trajectory of the flat-buffer
 	// numeric core. CandidateRunMicros is one full fine-tuning run
 	// (NewRun against the warm feature cache + the full epoch budget) of
@@ -212,6 +220,17 @@ func run(out, task string, seed uint64, selects int, sizes datahub.Sizes) error 
 	}
 	candidateMicros := float64(time.Since(epochStart).Microseconds()) / epochRuns
 
+	// Zero-epoch path on the same warm framework: lsq selection latency
+	// and the prefilter's winner-agreement over this world's targets.
+	lsqSel, err := benchkit.LSQSelectFW(fw)
+	if err != nil {
+		return err
+	}
+	agreement, err := benchkit.PrefilterAgreementFW(fw, benchkit.DefaultPrefilterK)
+	if err != nil {
+		return err
+	}
+
 	// Serial-vs-parallel offline build at this document's own world, and
 	// kernel throughput. BuildPairAt also verifies the two matrices are
 	// bit-identical, so a determinism break fails the run outright.
@@ -239,6 +258,10 @@ func run(out, task string, seed uint64, selects int, sizes datahub.Sizes) error 
 		SelectMillisP50:    latencies[len(latencies)/2],
 		SelectMillisMax:    latencies[len(latencies)-1],
 		SelectEpochs:       epochs / float64(selects),
+
+		LSQSelectMicros:    lsqSel.NsPerOp / 1e3,
+		PrefilterAgreement: agreement,
+		PrefilterTopK:      benchkit.DefaultPrefilterK,
 
 		CandidateRunMicros: candidateMicros,
 		FeatureExtractions: modelhub.Extractions(),
@@ -280,6 +303,8 @@ func run(out, task string, seed uint64, selects int, sizes datahub.Sizes) error 
 		doc.ColdBuildMillis, doc.WarmStartMillis, doc.WarmSpeedup, doc.SelectMillisAvg, doc.CacheHitRate, out)
 	fmt.Printf("benchservice: build serial %.0fms / parallel %.0fms (%.2fx on %d CPUs), mulframe %.2f GFLOP/s\n",
 		doc.BuildSerialMillis, doc.BuildParallelMillis, doc.BuildSpeedup, doc.GoMaxProcs, doc.MulFrameGFLOPS)
+	fmt.Printf("benchservice: lsq select %.0fus, prefilter agreement %.2f (top-%d)\n",
+		doc.LSQSelectMicros, doc.PrefilterAgreement, doc.PrefilterTopK)
 	return nil
 }
 

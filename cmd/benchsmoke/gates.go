@@ -1,0 +1,94 @@
+package main
+
+// The ratio gates of the smoke, extracted so they can refuse bad inputs
+// loudly and be unit-tested. The historical bug these guards fix: a
+// baseline or measured field that is 0, NaN or missing made `got > max`
+// false and the gate "passed" — a zero build_ms_serial in the baseline
+// would have made any regression look fine. Every gate now validates both
+// sides first and fails the smoke on non-finite or non-positive input
+// instead of waving it through.
+
+import (
+	"fmt"
+	"math"
+)
+
+// finitePositive rejects a measurement or baseline field that cannot
+// anchor a ratio gate: zero (missing from the JSON), negative, NaN or
+// infinite. The error says to re-record the baseline, because that is the
+// usual cause.
+func finitePositive(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return fmt.Errorf("%s is %v: zero, missing or non-finite values void the gate (re-record the baseline with -write)", name, v)
+	}
+	return nil
+}
+
+// calibrationScale is the machine-speed ratio the thresholds scale by.
+// Unlike the old silent fallback to 1.0, a missing or degenerate
+// calibration on either side fails the smoke — an unscaled gate on a
+// machine of unknown speed is not a gate.
+func calibrationScale(baseNs, measuredNs float64) (float64, error) {
+	if err := finitePositive("baseline calibration ns/op", baseNs); err != nil {
+		return 0, err
+	}
+	if err := finitePositive("measured calibration ns/op", measuredNs); err != nil {
+		return 0, err
+	}
+	return measuredNs / baseNs, nil
+}
+
+// checkCeiling gates a lower-is-better metric: got must stay within
+// base x scale x (1 + tol).
+func checkCeiling(name, unit string, got, base, scale, tol float64) error {
+	if err := finitePositive(name+" baseline", base); err != nil {
+		return err
+	}
+	if err := finitePositive(name+" measured", got); err != nil {
+		return err
+	}
+	max := base * scale * (1 + tol)
+	if got > max {
+		return fmt.Errorf("%s regressed: %.0f%s > %.0f%s (baseline %.0f x calibration %.2f x %.2f)",
+			name, got, unit, max, unit, base, scale, 1+tol)
+	}
+	fmt.Printf("benchsmoke: %s ok: %.0f%s <= %.0f%s\n", name, got, unit, max, unit)
+	return nil
+}
+
+// checkFloor gates a higher-is-better throughput metric: the calibration
+// ratio divides, so a slower machine lowers the floor instead of raising
+// a ceiling. A missing baseline no longer skips the gate — it fails it.
+func checkFloor(name, unit string, got, base, scale, tol float64) error {
+	if err := finitePositive(name+" baseline", base); err != nil {
+		return err
+	}
+	if err := finitePositive(name+" measured", got); err != nil {
+		return err
+	}
+	floor := base / (scale * (1 + tol))
+	if got < floor {
+		return fmt.Errorf("%s regressed: %.2f %s < %.2f %s floor (baseline %.2f / calibration %.2f / %.2f)",
+			name, got, unit, floor, unit, base, scale, 1+tol)
+	}
+	fmt.Printf("benchsmoke: %s ok: %.2f %s >= %.2f %s\n", name, got, unit, floor, unit)
+	return nil
+}
+
+// checkAbsoluteFloor gates a machine-independent quality metric (e.g. the
+// deterministic prefilter agreement fraction): measured must not drop
+// below the recorded baseline at all. Both sides must be finite and
+// positive — an absent agreement field fails rather than passes.
+func checkAbsoluteFloor(name string, got, base float64) error {
+	if err := finitePositive(name+" baseline", base); err != nil {
+		return err
+	}
+	if err := finitePositive(name+" measured", got); err != nil {
+		return err
+	}
+	if got < base {
+		return fmt.Errorf("%s regressed: %.3f < baseline %.3f (deterministic metric, no tolerance)", name, got, base)
+	}
+	fmt.Printf("benchsmoke: %s ok: %.3f >= %.3f\n", name, got, base)
+	return nil
+}

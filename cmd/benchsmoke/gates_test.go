@@ -1,0 +1,89 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// The regression these tests pin: gates must fail LOUDLY on zero, NaN or
+// missing inputs instead of silently passing (a zero baseline made any
+// regression look fine; a NaN measurement compared false on every side).
+
+func TestFinitePositiveRejectsDegenerateInputs(t *testing.T) {
+	for _, v := range []float64{0, -1, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if err := finitePositive("field", v); err == nil {
+			t.Errorf("finitePositive(%v) passed, want error", v)
+		}
+	}
+	if err := finitePositive("field", 123.4); err != nil {
+		t.Fatalf("finitePositive(123.4): %v", err)
+	}
+}
+
+func TestCalibrationScaleRefusesSilentFallback(t *testing.T) {
+	if _, err := calibrationScale(0, 100); err == nil {
+		t.Error("zero baseline calibration passed, want error (old code silently used scale=1)")
+	}
+	if _, err := calibrationScale(100, math.NaN()); err == nil {
+		t.Error("NaN measured calibration passed, want error")
+	}
+	s, err := calibrationScale(100, 150)
+	if err != nil || s != 1.5 {
+		t.Fatalf("calibrationScale(100, 150) = %v, %v; want 1.5", s, err)
+	}
+}
+
+func TestCheckCeiling(t *testing.T) {
+	// In-tolerance measurement passes.
+	if err := checkCeiling("m", "ns", 110, 100, 1.0, 0.20); err != nil {
+		t.Fatalf("within tolerance: %v", err)
+	}
+	// Regression fails.
+	if err := checkCeiling("m", "ns", 130, 100, 1.0, 0.20); err == nil {
+		t.Error("30%% regression passed a 20%% gate")
+	}
+	// The silent-pass bug: zero or NaN on either side must now error.
+	if err := checkCeiling("m", "ns", 130, 0, 1.0, 0.20); err == nil || !strings.Contains(err.Error(), "baseline") {
+		t.Errorf("zero baseline: got %v, want baseline validation error", err)
+	}
+	if err := checkCeiling("m", "ns", 0, 100, 1.0, 0.20); err == nil || !strings.Contains(err.Error(), "measured") {
+		t.Errorf("zero measurement: got %v, want measured validation error", err)
+	}
+	if err := checkCeiling("m", "ns", math.NaN(), 100, 1.0, 0.20); err == nil {
+		t.Error("NaN measurement passed the ceiling gate")
+	}
+}
+
+func TestCheckFloor(t *testing.T) {
+	// Throughput holding the floor passes; dropping below fails.
+	if err := checkFloor("gflops", "GFLOP/s", 10, 10, 1.0, 0.20); err != nil {
+		t.Fatalf("at baseline: %v", err)
+	}
+	if err := checkFloor("gflops", "GFLOP/s", 5, 10, 1.0, 0.20); err == nil {
+		t.Error("halved throughput passed the floor gate")
+	}
+	// The skipped-gate bug: base <= 0 used to bypass the gate entirely.
+	if err := checkFloor("gflops", "GFLOP/s", 5, 0, 1.0, 0.20); err == nil {
+		t.Error("zero baseline skipped the floor gate, want error")
+	}
+	// A slower machine (scale > 1) lowers the floor.
+	if err := checkFloor("gflops", "GFLOP/s", 5, 10, 2.0, 0.20); err != nil {
+		t.Fatalf("calibration-lowered floor: %v", err)
+	}
+}
+
+func TestCheckAbsoluteFloor(t *testing.T) {
+	if err := checkAbsoluteFloor("agreement", 0.75, 0.75); err != nil {
+		t.Fatalf("equal to baseline: %v", err)
+	}
+	if err := checkAbsoluteFloor("agreement", 0.5, 0.75); err == nil {
+		t.Error("dropped agreement passed the absolute floor")
+	}
+	if err := checkAbsoluteFloor("agreement", 0.75, 0); err == nil {
+		t.Error("missing baseline agreement passed, want error")
+	}
+	if err := checkAbsoluteFloor("agreement", math.NaN(), 0.75); err == nil {
+		t.Error("NaN agreement passed, want error")
+	}
+}

@@ -38,6 +38,12 @@ type baseline struct {
 	// build must actually beat the serial one.
 	MulFrameGFLOPS            float64 `json:"mulframe_gflops"`
 	benchkit.BuildMeasurement         // flattens to build_ms_* / build_speedup
+	// LSQSelectMicros gates the zero-epoch lsq selection's end-to-end
+	// latency (calibration-scaled ceiling); PrefilterAgreement gates the
+	// fraction of smoke targets whose prefiltered two-phase winner matches
+	// the unfiltered one — deterministic, so it is an absolute floor.
+	LSQSelectMicros    float64 `json:"lsq_select_us"`
+	PrefilterAgreement float64 `json:"prefilter_agreement"`
 }
 
 func main() {
@@ -67,21 +73,34 @@ func run(path string, write bool) error {
 	if err != nil {
 		return err
 	}
+	lsqSel, err := benchkit.LSQSelect()
+	if err != nil {
+		return err
+	}
+	lsqMicros := lsqSel.NsPerOp / 1e3
+	agreement, err := benchkit.PrefilterAgreement()
+	if err != nil {
+		return err
+	}
 	fmt.Printf("benchsmoke: calibration %.0fns, train epoch %.0fns/op (%d allocs), candidate epoch %.0fns/op (%d allocs)\n",
 		calib.NsPerOp, epoch.NsPerOp, epoch.AllocsPerOp, cand.NsPerOp, cand.AllocsPerOp)
 	fmt.Printf("benchsmoke: mulframe %.2f GFLOP/s, build serial %.0fms / parallel %.0fms (speedup %.2fx, GOMAXPROCS=%d)\n",
 		gflops, build.SerialMillis, build.ParallelMillis, build.Speedup, runtime.GOMAXPROCS(0))
+	fmt.Printf("benchsmoke: lsq select %.0fus/op, prefilter agreement %.3f (top-%d)\n",
+		lsqMicros, agreement, benchkit.DefaultPrefilterK)
 
 	if write {
 		b := baseline{
-			GoVersion:        runtime.Version(),
-			CPU:              runtime.GOARCH,
-			Tolerance:        0.20,
-			Calibration:      calib,
-			TrainEpoch:       epoch,
-			Candidate:        cand,
-			MulFrameGFLOPS:   gflops,
-			BuildMeasurement: build,
+			GoVersion:          runtime.Version(),
+			CPU:                runtime.GOARCH,
+			Tolerance:          0.20,
+			Calibration:        calib,
+			TrainEpoch:         epoch,
+			Candidate:          cand,
+			MulFrameGFLOPS:     gflops,
+			BuildMeasurement:   build,
+			LSQSelectMicros:    lsqMicros,
+			PrefilterAgreement: agreement,
 		}
 		data, err := json.MarshalIndent(b, "", "  ")
 		if err != nil {
@@ -106,9 +125,11 @@ func run(path string, write bool) error {
 	if base.Tolerance <= 0 {
 		base.Tolerance = 0.20
 	}
-	scale := 1.0
-	if base.Calibration.NsPerOp > 0 && calib.NsPerOp > 0 {
-		scale = calib.NsPerOp / base.Calibration.NsPerOp
+	// A degenerate calibration on either side fails the smoke instead of
+	// silently gating at scale 1.0 (see gates.go).
+	scale, err := calibrationScale(base.Calibration.NsPerOp, calib.NsPerOp)
+	if err != nil {
+		return err
 	}
 
 	// The -benchmem assertions: steady-state epochs must stay allocation-
@@ -121,33 +142,29 @@ func run(path string, write bool) error {
 		return fmt.Errorf("CandidateRun allocates %d/op, baseline %d/op", cand.AllocsPerOp, base.Candidate.AllocsPerOp)
 	}
 
-	check := func(name, unit string, got, want float64) error {
-		max := want * scale * (1 + base.Tolerance)
-		if got > max {
-			return fmt.Errorf("%s regressed: %.0f%s > %.0f%s (baseline %.0f x calibration %.2f x %.2f)",
-				name, got, unit, max, unit, want, scale, 1+base.Tolerance)
-		}
-		fmt.Printf("benchsmoke: %s ok: %.0f%s <= %.0f%s\n", name, got, unit, max, unit)
-		return nil
-	}
-	if err := check("BenchmarkTrainEpoch", "ns/op", epoch.NsPerOp, base.TrainEpoch.NsPerOp); err != nil {
+	if err := checkCeiling("BenchmarkTrainEpoch", "ns/op", epoch.NsPerOp, base.TrainEpoch.NsPerOp, scale, base.Tolerance); err != nil {
 		return err
 	}
-	if err := check("BenchmarkCandidateRun(per epoch)", "ns/op", cand.NsPerOp, base.Candidate.NsPerOp); err != nil {
+	if err := checkCeiling("BenchmarkCandidateRun(per epoch)", "ns/op", cand.NsPerOp, base.Candidate.NsPerOp, scale, base.Tolerance); err != nil {
 		return err
 	}
-	if err := check("BuildParallel", "ms", build.ParallelMillis, base.ParallelMillis); err != nil {
+	if err := checkCeiling("BuildParallel", "ms", build.ParallelMillis, base.ParallelMillis, scale, base.Tolerance); err != nil {
+		return err
+	}
+	if err := checkCeiling("LSQSelect", "us/op", lsqMicros, base.LSQSelectMicros, scale, base.Tolerance); err != nil {
 		return err
 	}
 	// GFLOP/s is higher-is-better, so the calibration ratio divides: a
-	// slower machine lowers the floor instead of raising a ceiling.
-	if base.MulFrameGFLOPS > 0 {
-		floor := base.MulFrameGFLOPS / (scale * (1 + base.Tolerance))
-		if gflops < floor {
-			return fmt.Errorf("MulFrame regressed: %.2f GFLOP/s < %.2f GFLOP/s floor (baseline %.2f / calibration %.2f / %.2f)",
-				gflops, floor, base.MulFrameGFLOPS, scale, 1+base.Tolerance)
-		}
-		fmt.Printf("benchsmoke: MulFrame ok: %.2f GFLOP/s >= %.2f GFLOP/s\n", gflops, floor)
+	// slower machine lowers the floor instead of raising a ceiling. A
+	// missing baseline fails rather than skips the gate.
+	if err := checkFloor("MulFrame", "GFLOP/s", gflops, base.MulFrameGFLOPS, scale, base.Tolerance); err != nil {
+		return err
+	}
+	// Prefilter agreement is deterministic at the smoke world, so the
+	// recorded baseline is an exact floor: any drop means the pre-filter
+	// started discarding the eventual winner.
+	if err := checkAbsoluteFloor("PrefilterAgreement", agreement, base.PrefilterAgreement); err != nil {
+		return err
 	}
 	// The multi-core dividend: with >1 CPU the parallel build must beat
 	// the serial one outright. Absolute, not baseline-relative — a 1-CPU

@@ -13,7 +13,10 @@
 //
 // Flags:
 //
-//	-strategy S     selection strategy: two-phase (default), sh, bf, ensemble
+//	-strategy S     selection strategy: two-phase (default), sh, bf,
+//	                ensemble, or lsq (zero-epoch closed-form proxy)
+//	-prefilter-top-k N  keep only the N best candidates by closed-form lsq
+//	                score before the epoch-trained strategy runs (0 = off)
 //	-server URL     send requests to a running apiserver instead of serving
 //	                in process (-store/-concurrency/-cache-size/-warm/
 //	                -seed-policy are rejected: they configure the serving
@@ -63,7 +66,10 @@ func main() {
 	flag.StringVar(&cfg.task, "task", datahub.TaskNLP, `task family: "nlp" or "cv"`)
 	flag.StringVar(&cfg.targets, "targets", "", "comma-separated target dataset names")
 	flag.BoolVar(&cfg.all, "all", false, "serve every target in the family's catalog")
-	flag.StringVar(&cfg.strategy, "strategy", "", "selection strategy: two-phase (default), sh, bf, ensemble")
+	flag.StringVar(&cfg.strategy, "strategy", "",
+		fmt.Sprintf("selection strategy: %s (default two-phase)", strings.Join(core.StrategyNames(), ", ")))
+	flag.IntVar(&cfg.prefilterTopK, "prefilter-top-k", 0,
+		"keep only the N best candidates by closed-form lsq score before the epoch-trained strategy runs (0 = off)")
 	flag.StringVar(&cfg.server, "server", "", "apiserver base URL (default: serve in process)")
 	flag.Uint64Var(&cfg.seed, "seed", 42, "world seed")
 	flag.StringVar(&cfg.storeDir, "store", "", "artifact store directory (optional)")
@@ -95,24 +101,25 @@ func main() {
 }
 
 type config struct {
-	task         string
-	targets      string
-	all          bool
-	strategy     string
-	server       string
-	seed         uint64
-	seedSet      bool // -seed passed explicitly
-	storeDir     string
-	workers      int
-	buildWorkers int
-	concurrency  int
-	cacheSize    int
-	warmSpec     string
-	seedPolicy   string
-	deadlineMS   int64
-	maxEpochs    int // -1 = unbounded; >=0 sent as the max_epochs budget
-	listTargets  bool
-	sizes        datahub.Sizes // test hook; zero means datahub defaults
+	task          string
+	targets       string
+	all           bool
+	strategy      string
+	prefilterTopK int
+	server        string
+	seed          uint64
+	seedSet       bool // -seed passed explicitly
+	storeDir      string
+	workers       int
+	buildWorkers  int
+	concurrency   int
+	cacheSize     int
+	warmSpec      string
+	seedPolicy    string
+	deadlineMS    int64
+	maxEpochs     int // -1 = unbounded; >=0 sent as the max_epochs budget
+	listTargets   bool
+	sizes         datahub.Sizes // test hook; zero means datahub defaults
 }
 
 // newAPI picks the transport: a remote apiserver when -server is set,
@@ -216,9 +223,10 @@ func run(ctx context.Context, w io.Writer, cfg config) error {
 		Task:    cfg.task,
 		Targets: targets,
 		SelectOptions: api.SelectOptions{
-			Strategy:   cfg.strategy,
-			Workers:    cfg.workers,
-			DeadlineMS: cfg.deadlineMS,
+			Strategy:      cfg.strategy,
+			Workers:       cfg.workers,
+			DeadlineMS:    cfg.deadlineMS,
+			PrefilterTopK: cfg.prefilterTopK,
 		},
 	}
 	if cfg.maxEpochs >= 0 {

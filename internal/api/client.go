@@ -57,11 +57,20 @@ func (c *Client) Select(ctx context.Context, req *SelectRequest) (*SelectRespons
 // server's Retry-After hint when one rides the refusal (a small linear
 // backoff otherwise), and gives up after `attempts` tries, returning the
 // last refusal. Deterministic rejections and cancellations are never
-// retried.
+// retried. A request carrying deadline_ms also bounds the *cumulative*
+// retry wait by that budget: once the next sleep would push total waiting
+// past deadline_ms, the client stops retrying and returns the last
+// refusal — the server would have truncated the work at that instant
+// anyway, so sleeping past it can only return a stale answer late.
 func (c *Client) SelectRetry(ctx context.Context, req *SelectRequest, attempts int) (*SelectResponse, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
+	var budget time.Duration
+	if req != nil && req.DeadlineMS > 0 {
+		budget = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	var slept time.Duration
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		resp, err := c.Select(ctx, req)
@@ -76,9 +85,13 @@ func (c *Client) SelectRetry(ctx context.Context, req *SelectRequest, attempts i
 		if wait <= 0 {
 			wait = time.Duration(i+1) * 50 * time.Millisecond
 		}
+		if budget > 0 && slept+wait > budget {
+			break
+		}
 		t := time.NewTimer(wait)
 		select {
 		case <-t.C:
+			slept += wait
 		case <-ctx.Done():
 			t.Stop()
 			return nil, classify(ctx.Err())

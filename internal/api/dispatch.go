@@ -51,13 +51,14 @@ func (d *Dispatcher) Select(ctx context.Context, req *SelectRequest) (*SelectRes
 
 	start := time.Now()
 	sreq := service.Request{
-		Task:      req.Task,
-		Targets:   req.Targets,
-		Strategy:  strat,
-		Seed:      req.Seed,
-		Workers:   req.Workers,
-		EnsembleK: req.EnsembleK,
-		MaxEpochs: req.MaxEpochs,
+		Task:          req.Task,
+		Targets:       req.Targets,
+		Strategy:      strat,
+		Seed:          req.Seed,
+		Workers:       req.Workers,
+		EnsembleK:     req.EnsembleK,
+		MaxEpochs:     req.MaxEpochs,
+		PrefilterTopK: req.PrefilterTopK,
 	}
 	if req.DeadlineMS > 0 {
 		// The budget deadline is resolved to an absolute instant here, at

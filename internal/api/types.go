@@ -27,7 +27,8 @@ const Version = "v1.1"
 // drift on what a well-formed request is.
 type SelectOptions struct {
 	// Strategy picks the selection procedure: "two-phase" (default),
-	// "sh", "bf" or "ensemble".
+	// "sh", "bf", "ensemble" or "lsq" (the zero-epoch closed-form
+	// baseline).
 	Strategy string `json:"strategy,omitempty"`
 	// Seed optionally overrides the serving world seed; omitted or null
 	// means the server's configured seed. Frameworks are cached per
@@ -49,8 +50,16 @@ type SelectOptions struct {
 	// real budget (no training; the winner falls out of the untrained
 	// heads deterministically); omitted/null means unbounded. Unlike
 	// DeadlineMS, a fixed epoch cap truncates bit-identically on every
-	// serving path.
+	// serving path. Strategy "lsq" never trains, so any cap — including
+	// 0 — leaves it untruncated.
 	MaxEpochs *int `json:"max_epochs,omitempty"`
+	// PrefilterTopK, when positive, runs the zero-epoch lsq ranking over
+	// the candidate pool first and hands only the top-k candidates to the
+	// epoch-trained strategies (ignored by strategy "lsq" itself). The
+	// ranking charges proxy-inference cost to the request's epoch total.
+	// 0 (the default) disables the pre-filter: responses are byte-identical
+	// to requests without the field.
+	PrefilterTopK int `json:"prefilter_top_k,omitempty"`
 }
 
 // Validate rejects malformed tuning knobs with ErrBadRequest. It is
@@ -58,8 +67,8 @@ type SelectOptions struct {
 // all call it, so a request rejected here is rejected identically on
 // every path.
 func (o *SelectOptions) Validate() error {
-	if o.Workers < 0 || o.EnsembleK < 0 {
-		return errBadRequest(fmt.Sprintf("negative tuning field (workers=%d, ensemble_k=%d)", o.Workers, o.EnsembleK))
+	if o.Workers < 0 || o.EnsembleK < 0 || o.PrefilterTopK < 0 {
+		return errBadRequest(fmt.Sprintf("negative tuning field (workers=%d, ensemble_k=%d, prefilter_top_k=%d)", o.Workers, o.EnsembleK, o.PrefilterTopK))
 	}
 	if o.DeadlineMS < 0 {
 		return errBadRequest(fmt.Sprintf("negative deadline_ms %d", o.DeadlineMS))

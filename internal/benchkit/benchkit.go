@@ -6,6 +6,7 @@
 package benchkit
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -135,6 +136,91 @@ func MulFrameGFLOPS() float64 {
 	})
 	flops := 2 * float64(n) * float64(rows) * float64(cols)
 	return flops / float64(res.NsPerOp())
+}
+
+// DefaultPrefilterK is the pre-filter width the smoke and the service
+// bench measure agreement at: small enough that the filter is doing real
+// pruning, large enough that the epoch strategy still has a field to run.
+const DefaultPrefilterK = 4
+
+// LSQSelect benchmarks one warm zero-epoch lsq selection end to end
+// (closed-form ridge heads over the whole repository, feature cache hot)
+// at the smoke world. This is the latency-critical serving number the
+// strategy exists for, so the smoke gates it like the training kernels.
+func LSQSelect() (Measurement, error) {
+	fw, err := core.Build(core.Options{Task: datahub.TaskNLP, Seed: 7, Sizes: Sizes})
+	if err != nil {
+		return Measurement{}, err
+	}
+	return LSQSelectFW(fw)
+}
+
+// LSQSelectFW is LSQSelect on a caller-built framework (the service bench
+// reuses its warm world instead of building another).
+func LSQSelectFW(fw *core.Framework) (Measurement, error) {
+	ctx := context.Background()
+	target := fw.Catalog.Targets()[0]
+	// One warmup primes the shared feature cache the way any earlier
+	// request on this world would have.
+	if _, err := fw.SelectWith(ctx, target, core.SelectOptions{Strategy: core.StrategyLSQ}); err != nil {
+		return Measurement{}, err
+	}
+	// Best-of-3: a whole selection is a long op (milliseconds), so one
+	// testing.Benchmark pass sees few iterations and scheduler noise
+	// lands straight on the mean; the min is the stable envelope number.
+	var best Measurement
+	for rep := 0; rep < 3; rep++ {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := fw.SelectWith(ctx, target, core.SelectOptions{Strategy: core.StrategyLSQ}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if m := flatten(res); rep == 0 || m.NsPerOp < best.NsPerOp {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// PrefilterAgreement measures how often the lsq pre-filter preserves the
+// two-phase winner: the fraction of the smoke world's targets whose
+// prefiltered (top-DefaultPrefilterK) two-phase selection picks the same
+// model as the unfiltered one. Deterministic at fixed seed and sizes, so
+// the smoke gates it as an absolute floor, not a scaled ratio.
+func PrefilterAgreement() (float64, error) {
+	fw, err := core.Build(core.Options{Task: datahub.TaskNLP, Seed: 7, Sizes: Sizes})
+	if err != nil {
+		return 0, err
+	}
+	return PrefilterAgreementFW(fw, DefaultPrefilterK)
+}
+
+// PrefilterAgreementFW is PrefilterAgreement on a caller-built framework
+// at a caller-chosen pre-filter width.
+func PrefilterAgreementFW(fw *core.Framework, k int) (float64, error) {
+	ctx := context.Background()
+	targets := fw.Catalog.Targets()
+	if len(targets) == 0 {
+		return 0, fmt.Errorf("benchkit: catalog has no targets")
+	}
+	agree := 0
+	for _, d := range targets {
+		plain, err := fw.SelectWith(ctx, d, core.SelectOptions{Strategy: core.StrategyTwoPhase})
+		if err != nil {
+			return 0, err
+		}
+		filtered, err := fw.SelectWith(ctx, d, core.SelectOptions{Strategy: core.StrategyTwoPhase, PrefilterTopK: k})
+		if err != nil {
+			return 0, err
+		}
+		if plain.Outcome.Winner == filtered.Outcome.Winner {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(targets)), nil
 }
 
 // BuildMeasurement is the serial-vs-parallel offline build comparison.

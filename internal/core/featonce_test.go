@@ -21,7 +21,7 @@ func TestFeatureExtractionOncePerBuild(t *testing.T) {
 		t.Fatal(err)
 	}
 	target := fw.Catalog.Targets()[0]
-	strategies := []Strategy{StrategyTwoPhase, StrategySH, StrategyBF, StrategyEnsemble}
+	strategies := []Strategy{StrategyTwoPhase, StrategySH, StrategyBF, StrategyEnsemble, StrategyLSQ}
 
 	runAll := func() {
 		t.Helper()

@@ -15,9 +15,11 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"twophase/internal/datahub"
+	"twophase/internal/lsq"
 	"twophase/internal/modelhub"
 	"twophase/internal/perfmatrix"
 	"twophase/internal/recall"
@@ -314,23 +316,44 @@ const (
 	// StrategyEnsemble recalls candidates and soft-votes the top-k
 	// fine-selection survivors.
 	StrategyEnsemble Strategy = "ensemble"
+	// StrategyLSQ is the zero-epoch closed-form baseline: a ridge
+	// least-squares head fit on every repository model's cached feature
+	// frame. It charges proxy-inference cost only and never trains, so
+	// epoch and deadline budgets cannot truncate it.
+	StrategyLSQ Strategy = "lsq"
 )
 
 // DefaultEnsembleK is the ensemble size used when a request leaves it
 // unset (the k=3 configuration of the §VII extension experiments).
 const DefaultEnsembleK = 3
 
+// StrategyNames lists every valid wire name, default first. It is the
+// single source of truth for usage strings and validation errors — new
+// strategies are added here and in ParseStrategy, nowhere else.
+func StrategyNames() []string {
+	return []string{
+		string(StrategyTwoPhase),
+		string(StrategySH),
+		string(StrategyBF),
+		string(StrategyEnsemble),
+		string(StrategyLSQ),
+	}
+}
+
 // ParseStrategy maps a wire name to a Strategy; the empty string means
 // StrategyTwoPhase. Unknown names return an error naming the valid set.
+// Every layer that accepts a strategy string (API validation, CLI flags,
+// the experiments harness) must parse through here so a name is either
+// valid everywhere or a typed bad_request everywhere.
 func ParseStrategy(s string) (Strategy, error) {
 	switch Strategy(s) {
 	case "", StrategyTwoPhase:
 		return StrategyTwoPhase, nil
-	case StrategySH, StrategyBF, StrategyEnsemble:
+	case StrategySH, StrategyBF, StrategyEnsemble, StrategyLSQ:
 		return Strategy(s), nil
 	default:
-		return "", fmt.Errorf("core: unknown strategy %q (want %q, %q, %q or %q)",
-			s, StrategyTwoPhase, StrategySH, StrategyBF, StrategyEnsemble)
+		return "", fmt.Errorf("core: unknown strategy %q (want one of %s)",
+			s, strings.Join(StrategyNames(), ", "))
 	}
 }
 
@@ -354,6 +377,14 @@ type SelectOptions struct {
 	// phase. Passing it truncates the selection (a 200 with best-so-far),
 	// unlike a context deadline, which cancels it (an error).
 	Deadline time.Time
+	// PrefilterTopK, when positive, ranks the candidate pool by the
+	// closed-form lsq score and hands only the top-k (in original pool
+	// order) to the epoch-trained strategies. 0 disables the pre-filter
+	// entirely: the pool, the ledger, and the report are exactly what
+	// they are today. Ignored by StrategyLSQ, which already is the
+	// ranking. The lsq pass charges its proxy-inference cost (0.5 per
+	// scored candidate) to the request ledger.
+	PrefilterTopK int
 }
 
 // Report is the result of one end-to-end online selection.
@@ -420,6 +451,31 @@ func (f *Framework) SelectWith(ctx context.Context, target *datahub.Dataset, opt
 			MaxEpochs: opts.MaxEpochs, Deadline: opts.Deadline,
 		}
 	}
+	// prefilter applies the optional lsq pre-filter to an epoch-trained
+	// strategy's candidate pool. PrefilterTopK <= 0 returns the pool
+	// untouched and charges nothing — disabled means byte-identical to a
+	// request without the field.
+	prefilter := func(models []*modelhub.Model, ledger *trainer.Ledger) ([]*modelhub.Model, error) {
+		k := opts.PrefilterTopK
+		if k <= 0 || len(models) == 0 {
+			return models, nil
+		}
+		res, err := lsq.Rank(ctx, models, target, lsq.Options{Workers: workers}, ledger)
+		if err != nil {
+			return nil, fmt.Errorf("core: lsq pre-filter on %s: %w", target.Name, err)
+		}
+		keep := make(map[string]bool, k)
+		for _, name := range res.TopK(k) {
+			keep[name] = true
+		}
+		out := make([]*modelhub.Model, 0, len(keep))
+		for _, m := range models {
+			if keep[m.Name] {
+				out = append(out, m)
+			}
+		}
+		return out, nil
+	}
 	switch strat {
 	case StrategyTwoPhase:
 		var ledger trainer.Ledger
@@ -431,7 +487,11 @@ func (f *Framework) SelectWith(ctx context.Context, target *datahub.Dataset, opt
 		if err != nil {
 			return nil, err
 		}
-		out, err := selection.FineSelect(ctx, candidates.Models(), target, selection.FineSelectOptions{
+		pool, err := prefilter(candidates.Models(), &ledger)
+		if err != nil {
+			return nil, err
+		}
+		out, err := selection.FineSelect(ctx, pool, target, selection.FineSelectOptions{
 			Config: base("two-phase"),
 			Matrix: f.Matrix,
 		})
@@ -444,22 +504,58 @@ func (f *Framework) SelectWith(ctx context.Context, target *datahub.Dataset, opt
 			Truncated: out.Truncated, TruncatedBy: out.TruncatedBy,
 		}, nil
 	case StrategySH:
-		out, err := selection.SuccessiveHalving(ctx, f.Repo.Models(), target, base("successive-halving"))
+		var ledger trainer.Ledger
+		pool, err := prefilter(f.Repo.Models(), &ledger)
 		if err != nil {
 			return nil, err
 		}
+		out, err := selection.SuccessiveHalving(ctx, pool, target, base("successive-halving"))
+		if err != nil {
+			return nil, err
+		}
+		ledger.Add(out.Ledger)
 		return &Report{
-			Target: target.Name, Strategy: strat, Outcome: out, Ledger: out.Ledger,
+			Target: target.Name, Strategy: strat, Outcome: out, Ledger: ledger,
 			Truncated: out.Truncated, TruncatedBy: out.TruncatedBy,
 		}, nil
 	case StrategyBF:
-		out, err := selection.BruteForce(ctx, f.Repo.Models(), target, base("brute-force"))
+		var ledger trainer.Ledger
+		pool, err := prefilter(f.Repo.Models(), &ledger)
 		if err != nil {
 			return nil, err
 		}
+		out, err := selection.BruteForce(ctx, pool, target, base("brute-force"))
+		if err != nil {
+			return nil, err
+		}
+		ledger.Add(out.Ledger)
 		return &Report{
-			Target: target.Name, Strategy: strat, Outcome: out, Ledger: out.Ledger,
+			Target: target.Name, Strategy: strat, Outcome: out, Ledger: ledger,
 			Truncated: out.Truncated, TruncatedBy: out.TruncatedBy,
+		}, nil
+	case StrategyLSQ:
+		// Zero-epoch path: rank the whole repository by closed-form head
+		// quality and report the best, rendered as a uniform Report. The
+		// request's budget fields never truncate it — there is no training
+		// to cut short — so max_epochs: 0 yields truncated: false with the
+		// proxy-inference cost on the ledger.
+		var ledger trainer.Ledger
+		res, err := lsq.Rank(ctx, f.Repo.Models(), target, lsq.Options{Workers: workers}, &ledger)
+		if err != nil {
+			return nil, fmt.Errorf("core: lsq selection on %s: %w", target.Name, err)
+		}
+		best := res.Best()
+		return &Report{
+			Target:   target.Name,
+			Strategy: strat,
+			Outcome: &selection.Outcome{
+				Winner:     res.Names[best],
+				WinnerVal:  res.Val[best],
+				WinnerTest: res.Test[best],
+				Ledger:     ledger,
+				Stages:     [][]string{append([]string(nil), res.Names...)},
+			},
+			Ledger: ledger,
 		}, nil
 	case StrategyEnsemble:
 		k := opts.EnsembleK
@@ -475,7 +571,11 @@ func (f *Framework) SelectWith(ctx context.Context, target *datahub.Dataset, opt
 		if err != nil {
 			return nil, err
 		}
-		ens, err := selection.EnsembleSelect(ctx, candidates.Models(), target, selection.FineSelectOptions{
+		pool, err := prefilter(candidates.Models(), &ledger)
+		if err != nil {
+			return nil, err
+		}
+		ens, err := selection.EnsembleSelect(ctx, pool, target, selection.FineSelectOptions{
 			Config: base("two-phase"),
 			Matrix: f.Matrix,
 		}, k)

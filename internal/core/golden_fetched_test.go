@@ -22,7 +22,7 @@ func TestGoldenSelectReportsFromFetchedArtifacts(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden suite builds full frameworks")
 	}
-	strategies := []core.Strategy{core.StrategyTwoPhase, core.StrategySH, core.StrategyBF, core.StrategyEnsemble}
+	strategies := []core.Strategy{core.StrategyTwoPhase, core.StrategySH, core.StrategyBF, core.StrategyEnsemble, core.StrategyLSQ}
 	for _, task := range []string{datahub.TaskNLP, datahub.TaskCV} {
 		for _, seed := range []uint64{0, 7} {
 			opts := core.Options{Task: task, Seed: seed, Sizes: goldenSizes}

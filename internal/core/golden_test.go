@@ -88,7 +88,7 @@ func TestGoldenSelectReports(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden suite builds full frameworks")
 	}
-	strategies := []core.Strategy{core.StrategyTwoPhase, core.StrategySH, core.StrategyBF, core.StrategyEnsemble}
+	strategies := []core.Strategy{core.StrategyTwoPhase, core.StrategySH, core.StrategyBF, core.StrategyEnsemble, core.StrategyLSQ}
 	for _, task := range []string{datahub.TaskNLP, datahub.TaskCV} {
 		for _, seed := range []uint64{0, 7} {
 			fw, err := core.Build(core.Options{Task: task, Seed: seed, Sizes: goldenSizes})

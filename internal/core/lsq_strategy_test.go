@@ -1,0 +1,186 @@
+package core_test
+
+// Semantics of the zero-epoch lsq strategy and the lsq pre-filter, pinned
+// at the SelectWith layer: budgets never truncate lsq, a disabled
+// pre-filter is byte-identical to no pre-filter, and both are
+// bit-reproducible across worker counts.
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"twophase/internal/core"
+	"twophase/internal/datahub"
+)
+
+func buildLSQTest(t *testing.T, workers int) *core.Framework {
+	t.Helper()
+	fw, err := core.Build(core.Options{
+		Task: datahub.TaskNLP, Seed: 7, Sizes: goldenSizes,
+		Workers: workers, BuildWorkers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+// TestLSQZeroBudgetNeverTruncates: lsq never trains, so an explicit
+// max_epochs of 0 — a real zero budget that truncates every epoch-trained
+// strategy — returns truncated=false, zero train epochs, and a nonzero
+// ledger (the proxy-inference cost of scoring the repository).
+func TestLSQZeroBudgetNeverTruncates(t *testing.T) {
+	fw := buildLSQTest(t, 0)
+	target := fw.Catalog.Targets()[0]
+	zero := 0
+	report, err := fw.SelectWith(context.Background(), target, core.SelectOptions{
+		Strategy: core.StrategyLSQ, MaxEpochs: &zero,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Truncated || report.TruncatedBy != "" {
+		t.Fatalf("zero-budget lsq reported truncated=%v by %q, want untruncated", report.Truncated, report.TruncatedBy)
+	}
+	if got := report.Ledger.TrainEpochs(); got != 0 {
+		t.Fatalf("lsq charged %d training epochs, want 0", got)
+	}
+	if want := 0.5 * float64(fw.Repo.Len()); report.Ledger.Total() != want {
+		t.Fatalf("lsq ledger total %v, want %v (0.5 per repository model)", report.Ledger.Total(), want)
+	}
+	if report.Outcome.Winner == "" || report.Outcome.WinnerVal <= 0 {
+		t.Fatalf("lsq outcome %+v lacks a winner", report.Outcome)
+	}
+	if len(report.Outcome.Stages) != 1 || len(report.Outcome.Stages[0]) != fw.Repo.Len() {
+		t.Fatalf("lsq stages %v, want one stage listing the whole pool", report.Outcome.Stages)
+	}
+}
+
+// TestLSQBitIdenticalAcrossWorkers pins the acceptance criterion that lsq
+// reports are bit-identical across Workers/BuildWorkers in {1, 4}, both
+// via the framework default and a per-request override.
+func TestLSQBitIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds full frameworks")
+	}
+	render := func(fw *core.Framework, reqWorkers int) string {
+		t.Helper()
+		target := fw.Catalog.Targets()[0]
+		report, err := fw.SelectWith(context.Background(), target, core.SelectOptions{
+			Strategy: core.StrategyLSQ, Workers: reqWorkers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(renderGolden(report))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	fw1 := buildLSQTest(t, 1)
+	fw4 := buildLSQTest(t, 4)
+	base := render(fw1, 0)
+	for _, got := range []string{render(fw4, 0), render(fw1, 4), render(fw4, 1)} {
+		if got != base {
+			t.Fatalf("lsq report diverged across worker counts:\n base: %s\n got:  %s", base, got)
+		}
+	}
+}
+
+// TestPrefilterDisabledIsByteIdentical: prefilter_top_k=0 must leave every
+// strategy's report byte-for-byte what it is without the option.
+func TestPrefilterDisabledIsByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds full frameworks")
+	}
+	fw := buildLSQTest(t, 0)
+	target := fw.Catalog.Targets()[0]
+	for _, strat := range []core.Strategy{core.StrategyTwoPhase, core.StrategySH, core.StrategyEnsemble} {
+		plain, err := fw.SelectWith(context.Background(), target, core.SelectOptions{Strategy: strat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		zeroed, err := fw.SelectWith(context.Background(), target, core.SelectOptions{Strategy: strat, PrefilterTopK: 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, _ := json.Marshal(renderGolden(plain))
+		zb, _ := json.Marshal(renderGolden(zeroed))
+		if string(pb) != string(zb) {
+			t.Fatalf("%s: prefilter_top_k=0 changed the report\n plain: %s\n zeroed: %s", strat, pb, zb)
+		}
+	}
+}
+
+// TestPrefilterBoundsPool: a positive prefilter_top_k caps the pool the
+// epoch strategies train (stage 0 of the outcome), keeps original pool
+// order, and charges the lsq pass to the ledger.
+func TestPrefilterBoundsPool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds full frameworks")
+	}
+	fw := buildLSQTest(t, 0)
+	target := fw.Catalog.Targets()[0]
+	const k = 4
+
+	plain, err := fw.SelectWith(context.Background(), target, core.SelectOptions{Strategy: core.StrategySH})
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := fw.SelectWith(context.Background(), target, core.SelectOptions{Strategy: core.StrategySH, PrefilterTopK: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := filtered.Outcome.Stages[0]
+	if len(pool) != k {
+		t.Fatalf("prefiltered SH pool has %d models, want %d", len(pool), k)
+	}
+	// Survivors must appear in the same relative order as the full pool.
+	pos := map[string]int{}
+	for i, name := range plain.Outcome.Stages[0] {
+		pos[name] = i
+	}
+	last := -1
+	for _, name := range pool {
+		p, ok := pos[name]
+		if !ok {
+			t.Fatalf("prefiltered pool member %q not in the repository pool", name)
+		}
+		if p <= last {
+			t.Fatalf("prefiltered pool %v not in original pool order", pool)
+		}
+		last = p
+	}
+	// The lsq pass charges 0.5 per repository model on top of SH's spend
+	// over the reduced pool.
+	lsqCost := 0.5 * float64(fw.Repo.Len())
+	if got := filtered.Ledger.Total() - filtered.Outcome.Ledger.Total(); math.Abs(got-lsqCost) > 1e-12 {
+		t.Fatalf("prefilter charged %v, want %v", got, lsqCost)
+	}
+	if filtered.Ledger.Total() >= plain.Ledger.Total() {
+		t.Fatalf("prefiltered SH cost %v did not undercut plain SH %v", filtered.Ledger.Total(), plain.Ledger.Total())
+	}
+}
+
+// TestPrefilterIgnoredByLSQ: composing the pre-filter with the lsq
+// strategy itself is a no-op, not a double charge.
+func TestPrefilterIgnoredByLSQ(t *testing.T) {
+	fw := buildLSQTest(t, 0)
+	target := fw.Catalog.Targets()[0]
+	plain, err := fw.SelectWith(context.Background(), target, core.SelectOptions{Strategy: core.StrategyLSQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	composed, err := fw.SelectWith(context.Background(), target, core.SelectOptions{Strategy: core.StrategyLSQ, PrefilterTopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, _ := json.Marshal(renderGolden(plain))
+	cb, _ := json.Marshal(renderGolden(composed))
+	if string(pb) != string(cb) {
+		t.Fatalf("prefilter_top_k changed the lsq strategy's report")
+	}
+}

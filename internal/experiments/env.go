@@ -126,6 +126,7 @@ func All() []Experiment {
 		{"ablSubset", "Ablation: offline matrix from reduced training data (§III.A)", AblationSubsetMatrix},
 		{"extEnsemble", "Extension: top-3 soft-voting ensemble selection (§VII)", ExtEnsemble},
 		{"extRobust", "Extension: end-to-end robustness across world seeds", ExtRobustness},
+		{"extLSQ", "Extension: zero-epoch lsq proxy stage + recall pre-filter", ExtLSQ},
 	}
 }
 

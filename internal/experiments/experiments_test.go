@@ -254,6 +254,44 @@ func TestExtensionEnsembleLifts(t *testing.T) {
 	}
 }
 
+func TestExtensionLSQAgreement(t *testing.T) {
+	tbl := runExperiment(t, "extLSQ")
+	if len(tbl.Rows) != 8 {
+		t.Fatalf("extLSQ rows %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		// lsq must answer with zero training epochs on every target.
+		var lsqEp int
+		if _, err := sscan(row[4], &lsqEp); err != nil {
+			t.Fatal(err)
+		}
+		if lsqEp != 0 {
+			t.Fatalf("lsq spent %d epochs on %s", lsqEp, row[0])
+		}
+		// The prefiltered strategies must not cost more epochs than the
+		// unfiltered two-phase baseline they agree against.
+		var baseEp, preEp int
+		if _, err := sscan(row[2], &baseEp); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sscan(row[6], &preEp); err != nil {
+			t.Fatal(err)
+		}
+		if preEp > baseEp {
+			t.Fatalf("prefiltered two-phase cost %d epochs > baseline %d on %s", preEp, baseEp, row[0])
+		}
+	}
+	// One agreement note per task family plus the closing cost note.
+	if len(tbl.Notes) != 3 {
+		t.Fatalf("extLSQ notes %d: %q", len(tbl.Notes), tbl.Notes)
+	}
+	for _, note := range tbl.Notes[:2] {
+		if !strings.Contains(note, "winner agreement vs two-phase") {
+			t.Fatalf("agreement note missing: %q", note)
+		}
+	}
+}
+
 func TestAblationSubsetRows(t *testing.T) {
 	tbl := runExperiment(t, "ablSubset")
 	if len(tbl.Rows) != 6 {

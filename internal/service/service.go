@@ -527,6 +527,10 @@ type Request struct {
 	// cancels (an error). Every target of a batch shares the same
 	// absolute instant.
 	Deadline time.Time
+	// PrefilterTopK, when positive, lsq-ranks each target's candidate
+	// pool and hands only the top-k to the epoch-trained strategies
+	// (0 disables; ignored by the lsq strategy itself).
+	PrefilterTopK int
 }
 
 // Do serves a selection request: it resolves the framework once, fans the
@@ -553,6 +557,7 @@ func (s *Service) Do(ctx context.Context, req Request) ([]Result, error) {
 	opts := core.SelectOptions{
 		Strategy: req.Strategy, Workers: req.Workers, EnsembleK: req.EnsembleK,
 		MaxEpochs: req.MaxEpochs, Deadline: req.Deadline,
+		PrefilterTopK: req.PrefilterTopK,
 	}
 	results := make([]Result, len(req.Targets))
 	sem := make(chan struct{}, s.opts.Concurrency)

@@ -9,6 +9,7 @@ package shard_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http/httptest"
 	"testing"
@@ -161,12 +162,12 @@ func TestBudgetedCrossPathDeterminism(t *testing.T) {
 // four serving paths and requires bit-identical outcomes.
 func TestCrossPathDeterminism(t *testing.T) {
 	if testing.Short() {
-		t.Skip("runs 4 strategies x 2 seeds x 4 serving paths")
+		t.Skip("runs 5 strategies x 2 seeds x 4 serving paths")
 	}
 	ctx := context.Background()
 	const task, target = "nlp", "tweet_eval"
 	seeds := []uint64{0, 7}
-	strategies := []core.Strategy{core.StrategyTwoPhase, core.StrategySH, core.StrategyBF, core.StrategyEnsemble}
+	strategies := []core.Strategy{core.StrategyTwoPhase, core.StrategySH, core.StrategyBF, core.StrategyEnsemble, core.StrategyLSQ}
 
 	// One shared service backs the dispatcher, the HTTP node and the
 	// gateway's backends; the direct path rebuilds each framework from
@@ -248,6 +249,165 @@ func TestCrossPathDeterminism(t *testing.T) {
 					}
 				}
 			})
+		}
+	}
+}
+
+// TestPrefilterCrossPathDeterminism composes prefilter_top_k with each
+// epoch-trained strategy and requires the filtered outcome to be
+// bit-identical through all four serving paths — the pre-filter must not
+// introduce any path-dependent state.
+func TestPrefilterCrossPathDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 3 strategies x 4 serving paths")
+	}
+	ctx := context.Background()
+	const task, target = "nlp", "tweet_eval"
+	const seed = uint64(7)
+	const topK = 4
+
+	svc, err := service.New(service.Options{Base: core.Options{Seed: seed, Sizes: detSizes}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := api.NewDispatcher(svc, seed)
+	node := httptest.NewServer(api.NewHandlerWith(disp, api.HandlerOptions{Instance: "node"}))
+	defer node.Close()
+	nodeClient := api.NewClient(node.URL, nil)
+	b2 := httptest.NewServer(api.NewHandlerWith(disp, api.HandlerOptions{Instance: "node2"}))
+	defer b2.Close()
+	router, err := shard.NewRouter(shard.RouterOptions{
+		Backends:      []string{node.URL, b2.URL},
+		Replicas:      2,
+		Seed:          seed,
+		ProbeInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routerCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	router.Start(routerCtx)
+	defer router.Close()
+
+	fw, err := core.Build(core.Options{Task: task, Seed: seed, Sizes: detSizes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fw.Catalog.Get(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, strat := range []core.Strategy{core.StrategyTwoPhase, core.StrategySH, core.StrategyEnsemble} {
+		t.Run(string(strat), func(t *testing.T) {
+			report, err := fw.SelectWith(ctx, d, core.SelectOptions{Strategy: strat, PrefilterTopK: topK})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := renderReport(report)
+			plain, err := fw.SelectWith(ctx, d, core.SelectOptions{Strategy: strat})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Ledger.Total() >= plain.Ledger.Total() {
+				t.Fatalf("prefiltered %s cost %v did not undercut unfiltered %v", strat, report.Ledger.Total(), plain.Ledger.Total())
+			}
+
+			s := seed
+			req := &api.SelectRequest{Task: task, Targets: []string{target},
+				SelectOptions: api.SelectOptions{Strategy: string(strat), Seed: &s, PrefilterTopK: topK}}
+			for _, path := range []struct {
+				name string
+				api  api.API
+			}{
+				{"dispatcher", disp},
+				{"http", nodeClient},
+				{"gateway", router},
+			} {
+				resp, err := path.api.Select(ctx, req)
+				if err != nil {
+					t.Fatalf("%s: %v", path.name, err)
+				}
+				if resp.Failed != 0 || len(resp.Results) != 1 {
+					t.Fatalf("%s: %+v", path.name, resp)
+				}
+				if got := renderResult(resp.Results[0]); got != want {
+					t.Fatalf("%s diverged from direct prefiltered call:\n got %+v\nwant %+v", path.name, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestUnknownStrategyTypedOnEveryPath is the strategy-parsing-drift
+// regression: an unknown strategy must surface as the SAME typed
+// bad_request on every serving path — direct call, dispatcher, HTTP node
+// and gateway — never as an untyped 500. All four route through
+// core.ParseStrategy, so a name is either valid everywhere or rejected
+// everywhere.
+func TestUnknownStrategyTypedOnEveryPath(t *testing.T) {
+	ctx := context.Background()
+	const task, target = "nlp", "tweet_eval"
+	const seed = uint64(0)
+	const bogus = "least-squares" // plausible but not a wire name
+
+	svc, err := service.New(service.Options{Base: core.Options{Seed: seed, Sizes: detSizes}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	disp := api.NewDispatcher(svc, seed)
+	node := httptest.NewServer(api.NewHandlerWith(disp, api.HandlerOptions{Instance: "node"}))
+	defer node.Close()
+	b2 := httptest.NewServer(api.NewHandlerWith(disp, api.HandlerOptions{Instance: "node2"}))
+	defer b2.Close()
+	router, err := shard.NewRouter(shard.RouterOptions{
+		Backends:      []string{node.URL, b2.URL},
+		Replicas:      2,
+		Seed:          seed,
+		ProbeInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routerCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	router.Start(routerCtx)
+	defer router.Close()
+
+	// Path 1: the direct framework call rejects before any phase runs.
+	fw, err := core.Build(core.Options{Task: task, Seed: seed, Sizes: detSizes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := fw.Catalog.Get(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.SelectWith(ctx, d, core.SelectOptions{Strategy: core.Strategy(bogus)}); err == nil {
+		t.Fatal("direct SelectWith accepted an unknown strategy")
+	}
+
+	// Paths 2-4: the wire layers reject with the typed 400.
+	req := &api.SelectRequest{Task: task, Targets: []string{target},
+		SelectOptions: api.SelectOptions{Strategy: bogus}}
+	for _, path := range []struct {
+		name string
+		api  api.API
+	}{
+		{"dispatcher", disp},
+		{"http", api.NewClient(node.URL, nil)},
+		{"gateway", router},
+	} {
+		_, err := path.api.Select(ctx, req)
+		if err == nil {
+			t.Fatalf("%s accepted an unknown strategy", path.name)
+		}
+		if !errors.Is(err, api.ErrBadRequest) {
+			t.Fatalf("%s: unknown strategy surfaced as %v, want ErrBadRequest", path.name, err)
+		}
+		if status := api.HTTPStatus(err); status != 400 {
+			t.Fatalf("%s: unknown strategy mapped to HTTP %d, want 400", path.name, status)
 		}
 	}
 }
