@@ -8,7 +8,10 @@ LOAD_JSON ?= BENCH_load.json
 COVER_PROFILE ?= coverage.out
 COVER_FLOOR ?= 70.0
 
-.PHONY: verify race bench bench-json bench-smoke bench-baseline fmt vet build test run-server run-gateway cover cover-check fuzz loadgen
+# Absolute: go test runs with the package directory as cwd.
+CHAOS_LOG ?= $(CURDIR)/BENCH_chaos.log
+
+.PHONY: verify race bench bench-json bench-smoke bench-baseline fmt vet build test run-server run-gateway cover cover-check fuzz loadgen chaos chaos-smoke
 
 # verify is the tier-1 gate: exactly what CI and the roadmap run.
 verify: build test
@@ -88,6 +91,18 @@ run-gateway:
 # LOADGEN_FLAGS='-rate 500 -duration 30s -deadline-ms 50'`.
 loadgen:
 	$(GO) run ./cmd/loadgen -addr $(LOADGEN_ADDR) -out $(LOAD_JSON) $(LOADGEN_FLAGS)
+
+# chaos runs the full fault-injection storm suite: three seeded
+# schedules against a real 3-backend fleet + gateway (separate OS
+# processes), with a mid-storm SIGKILL/restart. The event log lands in
+# $(CHAOS_LOG).
+chaos:
+	CHAOS_LOG=$(CHAOS_LOG) $(GO) test ./internal/chaos -run TestChaosStorms -count=1 -v
+
+# chaos-smoke is the CI-sized cut: a 2-backend fleet under one short
+# seeded schedule, run under the race detector.
+chaos-smoke:
+	CHAOS_LOG=$(CHAOS_LOG) $(GO) test ./internal/chaos -run TestChaosSmoke -count=1 -race -v
 
 fmt:
 	gofmt -l .

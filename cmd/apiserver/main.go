@@ -53,6 +53,10 @@
 //	                     (e.g. 127.0.0.1:6060; empty = disabled)
 //	-train/-val/-test N  split sizes (0 = paper defaults; set all or none)
 //	-shutdown-grace D    drain window after SIGTERM/SIGINT (default 15s)
+//	-fault-schedule S    deterministic fault-injection schedule, e.g.
+//	                     "seed=7;store.write:torn@0.5#3;handler:panic#1"
+//	                     (empty = TWOPHASE_FAULT_SCHEDULE env, empty = off;
+//	                     see internal/faultinject)
 //	-rate R              per-client token refill, req/s (0 = no rate
 //	                     limiting); refusals are 429 rate_limited
 //	-burst N             per-client bucket capacity (0 = max(rate, 1))
@@ -85,6 +89,7 @@ import (
 	"twophase/internal/api"
 	"twophase/internal/core"
 	"twophase/internal/datahub"
+	"twophase/internal/faultinject"
 	"twophase/internal/service"
 	"twophase/internal/shard"
 )
@@ -111,6 +116,7 @@ type config struct {
 	burst         float64
 	inflight      int
 	queue         int
+	faultSchedule string
 }
 
 func main() {
@@ -138,6 +144,7 @@ func main() {
 	flag.Float64Var(&cfg.burst, "burst", 0, "per-client bucket capacity (0 = max(rate, 1))")
 	flag.IntVar(&cfg.inflight, "inflight", 0, "max concurrently admitted selections (0 = unlimited)")
 	flag.IntVar(&cfg.queue, "queue", 0, "max queued requests past the inflight bound")
+	flag.StringVar(&cfg.faultSchedule, "fault-schedule", "", "deterministic fault-injection schedule (empty = TWOPHASE_FAULT_SCHEDULE env, empty = off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -184,6 +191,12 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 		return fmt.Errorf("pprof listener: %w", err)
 	} else if pprofAddr != "" {
 		log.Printf("apiserver: pprof on http://%s/debug/pprof/", pprofAddr)
+	}
+	// A malformed schedule is a configuration error and must fail startup
+	// loudly — a chaos run whose faults silently never fire would "prove"
+	// invariants it did not test.
+	if err := faultinject.Enable(cfg.faultSchedule); err != nil {
+		return err
 	}
 	seeds, err := service.ParseSeedPolicy(cfg.seedPolicy)
 	if err != nil {

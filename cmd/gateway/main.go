@@ -34,6 +34,14 @@
 //	-pprof-addr ADDR     serve net/http/pprof on a dedicated listener
 //	                     (e.g. 127.0.0.1:6061; empty = disabled)
 //	-shutdown-grace D    drain window after SIGTERM/SIGINT (default 15s)
+//	-attempt-timeout D   per-attempt timeout on each forwarded backend
+//	                     request, distinct from the request's deadline_ms:
+//	                     a hung backend costs one attempt and a failover,
+//	                     not the whole deadline (0 = disabled)
+//	-fault-schedule S    deterministic fault-injection schedule applied to
+//	                     the gateway→backend transport, e.g.
+//	                     "seed=7;transport:reset@0.2#5" (empty =
+//	                     TWOPHASE_FAULT_SCHEDULE env, empty = off)
 //
 // Admission control (all off by default; see internal/admission):
 //
@@ -57,6 +65,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -65,25 +74,29 @@ import (
 
 	"twophase/internal/admission"
 	"twophase/internal/api"
+	"twophase/internal/breaker"
+	"twophase/internal/faultinject"
 	"twophase/internal/shard"
 )
 
 type config struct {
-	addr          string
-	backends      string
-	replicas      int
-	vnodes        int
-	seed          uint64
-	probeInterval time.Duration
-	probeFailures int
-	instance      string
-	pprofAddr     string
-	shutdownGrace time.Duration
-	rate          float64
-	burst         float64
-	inflight      int
-	queue         int
-	hedgePct      float64
+	addr           string
+	backends       string
+	replicas       int
+	vnodes         int
+	seed           uint64
+	probeInterval  time.Duration
+	probeFailures  int
+	instance       string
+	pprofAddr      string
+	shutdownGrace  time.Duration
+	rate           float64
+	burst          float64
+	inflight       int
+	queue          int
+	hedgePct       float64
+	attemptTimeout time.Duration
+	faultSchedule  string
 }
 
 func main() {
@@ -103,6 +116,8 @@ func main() {
 	flag.IntVar(&cfg.inflight, "inflight", 0, "max concurrently admitted selections (0 = unlimited)")
 	flag.IntVar(&cfg.queue, "queue", 0, "max queued requests past the inflight bound")
 	flag.Float64Var(&cfg.hedgePct, "hedge-pct", 0, "hedge select sub-requests past this latency percentile (0 = disabled)")
+	flag.DurationVar(&cfg.attemptTimeout, "attempt-timeout", 0, "per-attempt timeout on forwarded backend requests (0 = disabled)")
+	flag.StringVar(&cfg.faultSchedule, "fault-schedule", "", "deterministic fault-injection schedule (empty = TWOPHASE_FAULT_SCHEDULE env, empty = off)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -152,19 +167,43 @@ func run(ctx context.Context, cfg config, ready chan<- string) error {
 	if cfg.rate < 0 || cfg.burst < 0 || cfg.inflight < 0 || cfg.queue < 0 || cfg.hedgePct < 0 || cfg.hedgePct > 100 {
 		return fmt.Errorf("-rate, -burst, -inflight and -queue must be non-negative; -hedge-pct must be in [0, 100]")
 	}
+	if cfg.attemptTimeout < 0 {
+		return fmt.Errorf("-attempt-timeout must be non-negative")
+	}
+	// A malformed schedule is a configuration error and must fail startup
+	// loudly — a chaos run whose faults silently never fire would "prove"
+	// invariants it did not test.
+	if err := faultinject.Enable(cfg.faultSchedule); err != nil {
+		return err
+	}
 	router, err := shard.NewRouter(shard.RouterOptions{
-		Backends:        backends,
-		Replicas:        cfg.replicas,
-		VNodes:          cfg.vnodes,
-		Seed:            cfg.seed,
-		ProbeInterval:   cfg.probeInterval,
-		ProbeThreshold:  cfg.probeFailures,
+		Backends:       backends,
+		Replicas:       cfg.replicas,
+		VNodes:         cfg.vnodes,
+		Seed:           cfg.seed,
+		ProbeInterval:  cfg.probeInterval,
+		ProbeThreshold: cfg.probeFailures,
+		// The transport wrapper is where the "transport" fault site lives
+		// (latency spikes, resets, raw 5xx bursts); with no schedule armed
+		// it is a single atomic load per round trip.
+		HTTPClient:      &http.Client{Transport: faultinject.Transport(nil)},
 		HedgePercentile: cfg.hedgePct,
+		AttemptTimeout:  cfg.attemptTimeout,
+		// Seed the half-open admission coin with the routing seed, so a
+		// seeded chaos run re-admits probes in the same order every time.
+		Breaker: breaker.Options{Seed: cfg.seed},
 	})
 	if err != nil {
 		return err
 	}
-	router.Start(ctx)
+	// The probe loop outlives the signal context on purpose: after
+	// SIGTERM the server keeps draining in-flight requests for the grace
+	// window, and failover during that drain still needs a live health
+	// view. The deferred Close cancels the loop and *waits* for it once
+	// ServeUntilShutdown returns, so shutdown leaks no probe goroutine.
+	probeCtx, stopProbes := context.WithCancel(context.Background())
+	defer stopProbes()
+	router.Start(probeCtx)
 	defer router.Close()
 
 	ln, err := net.Listen("tcp", cfg.addr)

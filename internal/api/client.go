@@ -19,6 +19,10 @@ import (
 type Client struct {
 	base string
 	hc   *http.Client
+	// attemptTimeout bounds each individual HTTP attempt, distinct from
+	// the context deadline that bounds the whole request. See
+	// WithAttemptTimeout.
+	attemptTimeout time.Duration
 }
 
 // NewClient points a client at a server base URL (e.g.
@@ -28,6 +32,18 @@ func NewClient(base string, httpClient *http.Client) *Client {
 		httpClient = http.DefaultClient
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// WithAttemptTimeout returns a copy of the client that bounds every
+// individual HTTP attempt by d (0 = unbounded). The limit is distinct
+// from the caller's context deadline: when an attempt times out while
+// the overall request is still alive, the error is a *retryable*
+// unavailability, not a cancellation — so one hung backend can't consume
+// the entire deadline_ms before failover gets a turn.
+func (c *Client) WithAttemptTimeout(d time.Duration) *Client {
+	cp := *c
+	cp.attemptTimeout = d
+	return &cp
 }
 
 // Select implements API. The request is validated locally with the same
@@ -201,7 +217,13 @@ func WithInstanceCapture(ctx context.Context, dst *string) context.Context {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body io.Reader, out interface{}) error {
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	reqCtx := ctx
+	if c.attemptTimeout > 0 {
+		var cancel context.CancelFunc
+		reqCtx, cancel = context.WithTimeout(ctx, c.attemptTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(reqCtx, method, c.base+path, body)
 	if err != nil {
 		return fmt.Errorf("api: build request: %w", err)
 	}
@@ -210,6 +232,14 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	}
 	res, err := c.hc.Do(req)
 	if err != nil {
+		if reqCtx != ctx && reqCtx.Err() != nil && ctx.Err() == nil {
+			// The per-attempt timeout fired while the overall request was
+			// still alive: this attempt is dead, the request is not.
+			// Surface retryable unavailability so failover gets a turn
+			// instead of a terminal cancellation.
+			return &Error{Code: CodeUnavailable,
+				Message: fmt.Sprintf("api: attempt %s %s timed out after %v", method, path, c.attemptTimeout)}
+		}
 		return classify(err)
 	}
 	defer res.Body.Close()
@@ -222,10 +252,14 @@ func (c *Client) do(ctx context.Context, method, path string, body io.Reader, ou
 	}
 	if res.StatusCode != http.StatusOK {
 		var e ErrorResponse
-		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+		if json.Unmarshal(data, &e) == nil && e.Error != "" && sentinelOf(e.Code) != nil {
 			return errFromCode(e.Code, e.Error, time.Duration(e.RetryAfterMS)*time.Millisecond)
 		}
-		return fmt.Errorf("api: %s %s: unexpected status %d: %s", method, path, res.StatusCode, strings.TrimSpace(string(data)))
+		// A non-contract failure body (a crashed proxy's HTML page, an
+		// injected raw 500) still surfaces as a *typed* internal error:
+		// the contract promises every refusal satisfies errors.Is.
+		return &Error{Code: CodeInternal,
+			Message: fmt.Sprintf("api: %s %s: unexpected status %d: %s", method, path, res.StatusCode, strings.TrimSpace(string(data)))}
 	}
 	if err := json.Unmarshal(data, out); err != nil {
 		return fmt.Errorf("api: decode response: %w", err)

@@ -113,6 +113,10 @@ func (d *Dispatcher) Select(ctx context.Context, req *SelectRequest) (*SelectRes
 				}
 				resp.Truncated++
 			}
+			if r.Degraded {
+				tr.Degraded = true
+				resp.Degraded++
+			}
 			// Batch cost is the sum of this request's per-target
 			// ledgers, never the service's cumulative spend.
 			resp.TotalEpochs += r.Report.TotalEpochs()
@@ -166,6 +170,10 @@ func (d *Dispatcher) Stats(context.Context) (*Stats, error) {
 		st.PersistDegraded = true
 		st.PersistError = err.Error()
 	}
+	deg := d.svc.DegradedStats()
+	st.DegradedWorlds = deg.Worlds
+	st.DegradedServes = deg.Serves
+	st.Panics = d.svc.Panics()
 	if d.svc.Store() != nil {
 		a := d.svc.ArtifactStats()
 		st.Artifacts = &ArtifactStats{

@@ -47,6 +47,12 @@ var (
 	// all). The fetching peer falls back to its next replica or a local
 	// build; it is a routine miss, not a failure.
 	ErrUnknownArtifact = errors.New("api: unknown artifact")
+	// ErrInternal marks a failure the server could not attribute to the
+	// request: a recovered handler panic, an injected fault, an unexpected
+	// backend 500. It is still a *typed* refusal — the chaos invariant is
+	// that every error a client sees satisfies errors.Is against exactly
+	// one sentinel, and this is the sentinel of last resort.
+	ErrInternal = errors.New("api: internal error")
 )
 
 // Error is the structured wire error of the v1.1 contract: a machine
@@ -107,7 +113,7 @@ func classify(err error) error {
 		errors.Is(err, ErrUnknownTarget), errors.Is(err, ErrCanceled),
 		errors.Is(err, ErrSeedRejected), errors.Is(err, ErrUnavailable),
 		errors.Is(err, ErrRateLimited), errors.Is(err, ErrOverloaded),
-		errors.Is(err, ErrUnknownArtifact):
+		errors.Is(err, ErrUnknownArtifact), errors.Is(err, ErrInternal):
 		return err
 	case errors.Is(err, store.ErrNotFound):
 		return fmt.Errorf("%w: %v", ErrUnknownArtifact, err)
@@ -193,7 +199,7 @@ func Code(err error) string {
 func errBadRequest(msg string) error { return fmt.Errorf("%w: %s", ErrBadRequest, msg) }
 
 // sentinelOf maps a wire code back to its package sentinel (nil for
-// internal/unknown codes, which have none).
+// unknown codes, which have none).
 func sentinelOf(code string) error {
 	switch code {
 	case CodeBadRequest:
@@ -214,6 +220,8 @@ func sentinelOf(code string) error {
 		return ErrOverloaded
 	case CodeUnknownArtifact:
 		return ErrUnknownArtifact
+	case CodeInternal:
+		return ErrInternal
 	default:
 		return nil
 	}
@@ -221,7 +229,9 @@ func sentinelOf(code string) error {
 
 // errFromCode rebuilds a structured error from a wire code, message and
 // retry hint — the client-side inverse of writeError. The result unwraps
-// to the code's sentinel, so errors.Is holds across the HTTP boundary.
+// to the code's sentinel, so errors.Is holds across the HTTP boundary;
+// even an "internal" error stays typed (ErrInternal), so no refusal a
+// server emits ever reaches a caller untyped.
 func errFromCode(code, msg string, retryAfter time.Duration) error {
 	if sentinelOf(code) == nil {
 		return errors.New(msg)

@@ -5,13 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"twophase/internal/admission"
+	"twophase/internal/faultinject"
 )
 
 // maxBodyBytes bounds a /v1/select request body; selection requests are
@@ -86,8 +90,12 @@ func NewReadyHandler(a API, ready func() bool) http.Handler {
 // NewHandlerWith is NewHandler with the full option set.
 func NewHandlerWith(a API, opts HandlerOptions) http.Handler {
 	ready := opts.Ready
+	var panics atomic.Int64
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/select", func(w http.ResponseWriter, r *http.Request) {
+		if f := faultinject.On(faultinject.SiteHandler); f != nil && f.Action == faultinject.ActPanic {
+			panic(fmt.Sprintf("faultinject: %s panic n=%d", f.Site, f.N))
+		}
 		if opts.Admission != nil {
 			release, retry, err := opts.Admission.Admit(r.Context(), clientID(r), priorityOf(r))
 			if err != nil {
@@ -159,6 +167,13 @@ func NewHandlerWith(a API, opts HandlerOptions) http.Handler {
 			writeError(w, err)
 			return
 		}
+		// Panics recovered by this process's middleware ride the stats
+		// document on top of whatever the API reports (a gateway already
+		// sums its backends' counters).
+		resp.Panics += panics.Load()
+		if fires := faultinject.Fires(); fires != nil {
+			resp.FaultFires = fires
+		}
 		if opts.Admission != nil {
 			st := opts.Admission.Stats()
 			resp.Admission = &AdmissionStats{
@@ -173,12 +188,40 @@ func NewHandlerWith(a API, opts HandlerOptions) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
-	if opts.Instance == "" {
-		return mux
+	handler := http.Handler(mux)
+	if opts.Instance != "" {
+		handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set(InstanceHeader, opts.Instance)
+			mux.ServeHTTP(w, r)
+		})
 	}
+	return recoverPanics(handler, &panics)
+}
+
+// recoverPanics is the outermost middleware on every mounted handler: a
+// panic below it becomes a typed internal 500 (never a torn connection or
+// an untyped error page) and the process keeps serving. The stack is
+// logged and the count rides /v1/stats. http.ErrAbortHandler re-panics —
+// it is net/http's sanctioned way to abort a response mid-write.
+func recoverPanics(next http.Handler, panics *atomic.Int64) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set(InstanceHeader, opts.Instance)
-		mux.ServeHTTP(w, r)
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			panics.Add(1)
+			log.Printf("api: recovered panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// If the handler already wrote a status line this WriteHeader
+			// is a no-op and the client sees a truncated body — the best
+			// that can be done once bytes are on the wire.
+			writeError(w, &Error{Code: CodeInternal,
+				Message: fmt.Sprintf("internal error: recovered panic serving %s", r.URL.Path)})
+		}()
+		next.ServeHTTP(w, r)
 	})
 }
 

@@ -145,6 +145,11 @@ type TargetResult struct {
 	// set only by the sharding gateway (from the backend's X-Instance-Id
 	// response header) so clients and tests can assert routing.
 	Backend string `json:"backend,omitempty"`
+	// Degraded reports that this target was served from a fingerprint-valid
+	// older world snapshot because a rebuild or fetch failed: the winner is
+	// real but may lag the freshest artifacts. The degraded_worlds gauge on
+	// /v1/stats stays up until a clean rebuild succeeds.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // BudgetStatus is a truncated target's budget block: why the selection
@@ -171,6 +176,9 @@ type SelectResponse struct {
 	// Truncated counts the Results entries whose selection stopped at the
 	// request budget (their partial cost is still in TotalEpochs).
 	Truncated int `json:"truncated,omitempty"`
+	// Degraded counts the Results entries served from an older world
+	// snapshot (see TargetResult.Degraded).
+	Degraded int `json:"degraded,omitempty"`
 	// TotalEpochs is the summed cost of this request's per-target
 	// ledgers — not the service's cumulative spend, so reusing a warm
 	// service never overcounts a batch.
@@ -202,6 +210,18 @@ type Stats struct {
 	// carries the most recent failure.
 	PersistDegraded bool   `json:"persist_degraded"`
 	PersistError    string `json:"persist_error,omitempty"`
+	// Panics counts handler and worker panics recovered by the process
+	// (each one answered as a typed internal error while serving
+	// continued). On a gateway the count includes backend panics.
+	Panics int64 `json:"panics,omitempty"`
+	// DegradedWorlds gauges (task, seed) worlds currently served from an
+	// older snapshot because their latest rebuild or fetch failed;
+	// DegradedServes counts selections answered from such snapshots.
+	DegradedWorlds int   `json:"degraded_worlds,omitempty"`
+	DegradedServes int64 `json:"degraded_serves,omitempty"`
+	// FaultFires reports fired injected faults per "site:action" when this
+	// process was started with -fault-schedule; absent in production.
+	FaultFires map[string]int64 `json:"fault_fires,omitempty"`
 	// Cache describes the framework lifecycle cache.
 	Cache CacheStats `json:"cache"`
 	// Gateway is set only on a sharding gateway's stats: ring shape,
@@ -291,6 +311,9 @@ type GatewayStats struct {
 	// not a failover.
 	Hedges    int64 `json:"hedges,omitempty"`
 	HedgeWins int64 `json:"hedge_wins,omitempty"`
+	// BreakerSkips counts sub-request attempts not even sent because the
+	// target backend's circuit breaker was open.
+	BreakerSkips int64 `json:"breaker_skips,omitempty"`
 	// BackendStats describes each backend in configured order.
 	BackendStats []BackendStats `json:"backend_stats"`
 }
@@ -304,6 +327,9 @@ type BackendStats struct {
 	Alive    bool   `json:"alive"`
 	// DownEvents counts up→down health transitions.
 	DownEvents int64 `json:"down_events"`
+	// Breaker is this backend's circuit-breaker state as the gateway sees
+	// it: "closed", "open" or "half-open".
+	Breaker string `json:"breaker,omitempty"`
 	// Requests counts sub-requests the gateway routed to this backend;
 	// Failures counts the ones that errored (before any failover).
 	Requests int64 `json:"requests"`

@@ -1,0 +1,61 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// roundTripper injects transport-site faults in front of a real
+// http.RoundTripper: hang delays the request (a latency spike — it still
+// proceeds), reset fails it like a closed connection, http500 synthesizes
+// an untyped 500 without touching the network.
+type roundTripper struct {
+	base http.RoundTripper
+}
+
+// Transport wraps base (nil = http.DefaultTransport) with the
+// SiteTransport injection point. Cheap to install unconditionally: when no
+// schedule is armed each round trip costs one atomic load.
+func Transport(base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &roundTripper{base: base}
+}
+
+func (t *roundTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := On(SiteTransport)
+	if f == nil {
+		return t.base.RoundTrip(req)
+	}
+	switch f.Action {
+	case ActHang:
+		f.Sleep(req.Context().Done())
+		if err := req.Context().Err(); err != nil {
+			return nil, err
+		}
+		return t.base.RoundTrip(req)
+	case ActReset:
+		return nil, fmt.Errorf("%w: connection reset by peer", f.Err())
+	case ActHTTP500:
+		// An untyped 500: no JSON error envelope, the shape a crashed
+		// reverse proxy or OOM-killed worker produces. The client must
+		// still surface it as a typed internal error.
+		body := "injected upstream failure\n"
+		return &http.Response{
+			Status:        "500 Internal Server Error",
+			StatusCode:    http.StatusInternalServerError,
+			Proto:         req.Proto,
+			ProtoMajor:    req.ProtoMajor,
+			ProtoMinor:    req.ProtoMinor,
+			Header:        http.Header{"Content-Type": []string{"text/plain; charset=utf-8"}},
+			Body:          io.NopCloser(strings.NewReader(body)),
+			ContentLength: int64(len(body)),
+			Request:       req,
+		}, nil
+	default:
+		return t.base.RoundTrip(req)
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"log"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -160,7 +162,7 @@ func (m *Manager) Get(ctx context.Context, key Key) (*Handle, error) {
 	m.mu.Unlock()
 
 	start := time.Now()
-	fw, err := m.build(context.WithoutCancel(ctx), key)
+	fw, err := m.runBuild(ctx, key)
 	dur := time.Since(start)
 	e.fw, e.err = fw, err
 
@@ -179,10 +181,33 @@ func (m *Manager) Get(ctx context.Context, key Key) (*Handle, error) {
 		return nil, err
 	}
 	m.builds++
-	m.evictOverflowLocked()
+	if fw.Degraded {
+		// A degraded framework (served from an older snapshot because the
+		// clean resolution failed) is valid for this request's waiters but
+		// must not stick in the cache: the next Get has to retry a clean
+		// rebuild, or the world would stay degraded forever.
+		m.removeLocked(e)
+	} else {
+		m.evictOverflowLocked()
+	}
 	m.mu.Unlock()
 	close(e.done)
 	return &Handle{mgr: m, entry: e}, nil
+}
+
+// runBuild invokes the BuildFunc with cancellation stripped (the build's
+// result serves every later request, not just the caller that started
+// it) and converts a panicking build into an error: without the recover,
+// the singleflight cell's done channel would never close and every waiter
+// on the key would hang forever.
+func (m *Manager) runBuild(ctx context.Context, key Key) (fw *core.Framework, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			log.Printf("lifecycle: build %s panicked: %v\n%s", key, rec, debug.Stack())
+			fw, err = nil, fmt.Errorf("lifecycle: build %s panicked: %v", key, rec)
+		}
+	}()
+	return m.build(context.WithoutCancel(ctx), key)
 }
 
 func (m *Manager) release(e *entry) {

@@ -2,7 +2,10 @@ package selection
 
 import (
 	"context"
+	"fmt"
+	"log"
 	"runtime"
+	"runtime/debug"
 	"sync"
 
 	"twophase/internal/trainer"
@@ -26,14 +29,16 @@ func trainStage(ctx context.Context, runs map[string]*trainer.Run, pool []string
 	if workers > len(pool) {
 		workers = len(pool)
 	}
+	errs := make([]error, len(pool))
 	if workers <= 1 {
 		for i, name := range pool {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			for e := 0; e < stageLen; e++ {
-				vals[i] = runs[name].TrainEpoch()
-			}
+			vals[i], errs[i] = trainMember(runs[name], pool[i], stageLen)
+		}
+		if err := firstErr(errs); err != nil {
+			return nil, err
 		}
 		ledger.ChargeEpochs(len(pool) * stageLen)
 		return vals, nil
@@ -45,10 +50,7 @@ func trainStage(ctx context.Context, runs map[string]*trainer.Run, pool []string
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				run := runs[pool[i]]
-				for e := 0; e < stageLen; e++ {
-					vals[i] = run.TrainEpoch()
-				}
+				vals[i], errs[i] = trainMember(runs[pool[i]], pool[i], stageLen)
 			}
 		}()
 	}
@@ -65,8 +67,39 @@ feed:
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
 	ledger.ChargeEpochs(len(pool) * stageLen)
 	return vals, nil
+}
+
+// trainMember runs one pool member's stage epochs, converting a panic in
+// the training kernel into an error: a bare panic on a pool goroutine
+// would kill the whole process, taking every other in-flight selection
+// with it. The recover keeps the stage's failure local to its request.
+func trainMember(run *trainer.Run, name string, stageLen int) (val float64, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			log.Printf("selection: training %q panicked: %v\n%s", name, rec, debug.Stack())
+			err = fmt.Errorf("selection: training %q panicked: %v", name, rec)
+		}
+	}()
+	for e := 0; e < stageLen; e++ {
+		val = run.TrainEpoch()
+	}
+	return val, nil
+}
+
+// firstErr returns the first error in pool-index order, so the reported
+// failure does not depend on which worker lost the race.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // workers resolves Config.Workers: 0 or 1 means sequential, negative means

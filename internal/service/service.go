@@ -27,7 +27,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +37,7 @@ import (
 	"twophase/internal/artifact"
 	"twophase/internal/core"
 	"twophase/internal/datahub"
+	"twophase/internal/faultinject"
 	"twophase/internal/lifecycle"
 	"twophase/internal/modelhub"
 	"twophase/internal/store"
@@ -133,6 +136,16 @@ type Service struct {
 	artifactFetch  int64
 	fetchFailures  int64
 	fallbackBuilds int64
+
+	// Degraded-serving state: the last good framework per world, served
+	// with Degraded=true when a rebuild or fetch fails, so transient
+	// storage faults degrade answers instead of refusing them.
+	snapMu         sync.Mutex
+	snaps          map[lifecycle.Key]*core.Framework
+	snapOrder      []lifecycle.Key
+	degraded       map[lifecycle.Key]bool
+	degradedServes int64 // atomic
+	panics         int64 // selection-worker panics recovered (atomic)
 }
 
 // New creates a Service. The store directory, if configured, is created on
@@ -150,7 +163,12 @@ func New(opts Options) (*Service, error) {
 	if opts.CacheSize < 0 {
 		return nil, fmt.Errorf("service: negative cache size %d", opts.CacheSize)
 	}
-	s := &Service{opts: opts, admitted: make(map[uint64]*seedAdmission)}
+	s := &Service{
+		opts:     opts,
+		admitted: make(map[uint64]*seedAdmission),
+		snaps:    make(map[lifecycle.Key]*core.Framework),
+		degraded: make(map[lifecycle.Key]bool),
+	}
 	if opts.StoreDir != "" {
 		st, err := store.Open(opts.StoreDir)
 		if err != nil {
@@ -211,11 +229,96 @@ func matrixKey(task string, seed uint64) string {
 	return lifecycle.Key{Task: task, Seed: seed}.String()
 }
 
-// load resolves a framework through the artifact tiers: the local store
-// first (binary artifacts, with JSON fallback inside the store), then —
-// when a fetcher is configured — the world's fleet peers, and only then
-// the offline build (whose artifacts persist for the next process). With
-// both the matrix and the clustering artifact at hand, a warm start
+// load resolves a framework via loadWorld and layers degraded serving on
+// top: every clean resolution snapshots the framework as the world's last
+// known good state, and a failed resolution with a snapshot at hand
+// serves a copy marked Degraded=true instead of refusing — a transient
+// storage or build fault costs freshness, not availability. Degraded
+// frameworks are never cached by the lifecycle manager, so the next
+// request retries a clean rebuild; the first clean success clears the
+// world's degraded mark, which is how the fleet reconverges after a
+// fault schedule drains.
+func (s *Service) load(ctx context.Context, task string, seed uint64) (*core.Framework, error) {
+	key := lifecycle.Key{Task: task, Seed: seed}
+	fw, err := s.loadWorld(ctx, task, seed)
+	if err == nil {
+		s.saveSnapshot(key, fw)
+		return fw, nil
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// The caller walked away; nothing is wrong with the world.
+		return nil, err
+	}
+	s.snapMu.Lock()
+	snap := s.snaps[key]
+	if snap != nil {
+		s.degraded[key] = true
+	}
+	s.snapMu.Unlock()
+	if snap == nil {
+		return nil, err
+	}
+	atomic.AddInt64(&s.degradedServes, 1)
+	log.Printf("service: serving %s degraded from older snapshot (load failed: %v)", key, err)
+	// Shallow copy: the framework is immutable, only the flag differs.
+	deg := *snap
+	deg.Degraded = true
+	return &deg, nil
+}
+
+// saveSnapshot records a world's last known good framework (bounded FIFO
+// so degraded serving can't pin unbounded memory) and clears its degraded
+// mark — the world is healthy again.
+func (s *Service) saveSnapshot(key lifecycle.Key, fw *core.Framework) {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	delete(s.degraded, key)
+	if _, ok := s.snaps[key]; !ok {
+		s.snapOrder = append(s.snapOrder, key)
+	}
+	s.snaps[key] = fw
+	// Keep snapshots for a few more worlds than the lifecycle cache holds:
+	// an evicted-then-failing world can still serve degraded. Unbounded
+	// caches (CacheSize 0) keep every snapshot — the world set is already
+	// bounded by the seed policy there.
+	bound := 2 * s.opts.CacheSize
+	if s.opts.CacheSize > 0 && bound < 8 {
+		bound = 8
+	}
+	if bound > 0 {
+		for len(s.snapOrder) > bound {
+			old := s.snapOrder[0]
+			s.snapOrder = s.snapOrder[1:]
+			delete(s.snaps, old)
+			delete(s.degraded, old)
+		}
+	}
+}
+
+// DegradedStats reports the degraded-serving state: how many worlds are
+// currently being served from older snapshots, and how many selections
+// have been answered that way since the process started.
+type DegradedStats struct {
+	Worlds int
+	Serves int64
+}
+
+// DegradedStats snapshots the degraded-serving gauges.
+func (s *Service) DegradedStats() DegradedStats {
+	s.snapMu.Lock()
+	worlds := len(s.degraded)
+	s.snapMu.Unlock()
+	return DegradedStats{Worlds: worlds, Serves: atomic.LoadInt64(&s.degradedServes)}
+}
+
+// Panics counts selection-worker panics recovered by the service.
+func (s *Service) Panics() int64 { return atomic.LoadInt64(&s.panics) }
+
+// loadWorld resolves a framework through the artifact tiers: the local
+// store first (binary artifacts, with JSON fallback inside the store),
+// then — when a fetcher is configured — the world's fleet peers, and only
+// then the offline build (whose artifacts persist for the next process).
+// With both the matrix and the clustering artifact at hand, a warm start
 // recomputes neither — zero fine-tuning runs and zero clustering passes.
 //
 // The store's typed errors drive the fallback: only a truly absent
@@ -223,7 +326,7 @@ func matrixKey(task string, seed uint64) string {
 // (the rewrite heals the store), and any other read failure — a transient
 // I/O or permission error — propagates instead of silently paying a
 // rebuild.
-func (s *Service) load(ctx context.Context, task string, seed uint64) (*core.Framework, error) {
+func (s *Service) loadWorld(ctx context.Context, task string, seed uint64) (*core.Framework, error) {
 	opts := s.opts.Base
 	opts.Task = task
 	opts.Seed = seed
@@ -271,6 +374,13 @@ func (s *Service) load(ctx context.Context, task string, seed uint64) (*core.Fra
 			return nil, err
 		}
 		atomic.AddInt64(&s.fallbackBuilds, 1)
+	}
+	if f := faultinject.On(faultinject.SiteBuild); f != nil {
+		if f.Action == faultinject.ActHang {
+			f.Sleep(ctx.Done())
+		} else {
+			return nil, fmt.Errorf("service: build %s: %w", key, f.Err())
+		}
 	}
 	fw, err := core.Build(opts)
 	if err != nil {
@@ -491,6 +601,9 @@ type Result struct {
 	Target string
 	Report *core.Report
 	Err    error
+	// Degraded reports that this target was served from an older world
+	// snapshot because the latest rebuild or fetch failed.
+	Degraded bool
 }
 
 // Request is the service-level selection request: one task family, one or
@@ -575,18 +688,31 @@ func (s *Service) Do(ctx context.Context, req Request) ([]Result, error) {
 				return
 			}
 			defer func() { <-sem }()
-			d, err := fw.Catalog.Get(name)
-			if err != nil {
-				results[i] = Result{Target: name, Err: err}
-				return
-			}
-			report, err := fw.SelectWith(ctx, d, opts)
+			report, err := func() (report *core.Report, err error) {
+				// A panicking selection (a malformed world, a bug in a
+				// strategy) must cost one target, not the process: recover
+				// here so the batch's other targets and every future
+				// request keep serving, and the failure surfaces as a
+				// typed internal error.
+				defer func() {
+					if rec := recover(); rec != nil {
+						atomic.AddInt64(&s.panics, 1)
+						log.Printf("service: selection for %q panicked: %v\n%s", name, rec, debug.Stack())
+						err = fmt.Errorf("service: selection for %q panicked: %v", name, rec)
+					}
+				}()
+				d, err := fw.Catalog.Get(name)
+				if err != nil {
+					return nil, err
+				}
+				return fw.SelectWith(ctx, d, opts)
+			}()
 			if err != nil {
 				results[i] = Result{Target: name, Err: err}
 				return
 			}
 			s.cost.Add(report.Ledger)
-			results[i] = Result{Target: name, Report: report}
+			results[i] = Result{Target: name, Report: report, Degraded: fw.Degraded}
 		}(i, name)
 	}
 	wg.Wait()

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
@@ -9,6 +10,8 @@ import (
 
 	"twophase/internal/api"
 	"twophase/internal/artifact"
+	"twophase/internal/breaker"
+	"twophase/internal/faultinject"
 	"twophase/internal/lifecycle"
 	"twophase/internal/service"
 )
@@ -51,8 +54,11 @@ func OwnedKeys(keys []lifecycle.Key, ring *Ring, self string, replicas int) []li
 // here are exactly the backends whose ring-aware warmup built the world.
 // Self is skipped (a local miss is why the fetcher ran), every document
 // is checksum-verified before it is trusted, and each attempt carries
-// its own timeout. An error means no live owner had a valid copy; the
-// caller falls back to a local build.
+// its own timeout. A per-peer circuit breaker cuts off a hanging or
+// corrupt-serving peer so repeated builds don't each re-pay its attempt
+// timeout; a typed "unknown artifact" miss is a healthy answer and never
+// trips it. An error means no live owner had a valid copy; the caller
+// falls back to a local build.
 func NewArtifactFetcher(ring *Ring, self string, replicas int, hc *http.Client) func(ctx context.Context, kind, name string) ([]byte, error) {
 	if replicas <= 0 {
 		replicas = DefaultReplicas
@@ -72,23 +78,36 @@ func NewArtifactFetcher(ring *Ring, self string, replicas int, hc *http.Client) 
 		}
 		return c
 	}
+	breakers := breaker.NewSet(breaker.Options{})
 	return func(ctx context.Context, kind, name string) ([]byte, error) {
 		var lastErr error
 		for _, owner := range ring.Owners(name, replicas) {
 			if owner == self {
 				continue
 			}
-			attempt, cancel := context.WithTimeout(ctx, fetchAttemptTimeout)
-			data, _, err := clientFor(owner).FetchArtifact(attempt, kind, name, "")
-			cancel()
+			if !breakers.Allow(owner) {
+				lastErr = fmt.Errorf("%s: %w: artifact fetch circuit open", owner, api.ErrUnavailable)
+				continue
+			}
+			data, err := fetchOne(ctx, clientFor(owner), kind, name)
 			if err != nil {
+				// A typed miss is a healthy peer answering "I don't have
+				// it" — only real failures (hangs, resets, corrupt bytes)
+				// count against the circuit.
+				if !errors.Is(err, api.ErrUnknownArtifact) {
+					breakers.Failure(owner)
+				}
 				lastErr = fmt.Errorf("%s: %w", owner, err)
 				continue
 			}
 			if _, err := artifact.Verify(data); err != nil {
+				// A peer serving bytes that fail their own checksum is
+				// broken, not just missing the key.
+				breakers.Failure(owner)
 				lastErr = fmt.Errorf("%s: %w", owner, err)
 				continue
 			}
+			breakers.Success(owner)
 			return data, nil
 		}
 		if lastErr != nil {
@@ -96,4 +115,39 @@ func NewArtifactFetcher(ring *Ring, self string, replicas int, hc *http.Client) 
 		}
 		return nil, fmt.Errorf("shard: fetch %s/%s: %w", kind, name, service.ErrNoPeers)
 	}
+}
+
+// fetchOne performs one bounded fetch attempt against one peer, applying
+// the fetch.request and fetch.body fault sites: a request fault hangs or
+// fails the attempt before any byte moves; a body fault corrupts the
+// received document (the checksum gate must catch it) or drops it
+// mid-transfer after the request itself succeeded.
+func fetchOne(ctx context.Context, c *api.Client, kind, name string) ([]byte, error) {
+	attempt, cancel := context.WithTimeout(ctx, fetchAttemptTimeout)
+	defer cancel()
+	if f := faultinject.On(faultinject.SiteFetchRequest); f != nil {
+		if f.Action == faultinject.ActHang {
+			f.Sleep(attempt.Done())
+			if err := attempt.Err(); err != nil {
+				return nil, fmt.Errorf("shard: fetch request: %w: %w", f.Err(), err)
+			}
+		} else {
+			return nil, fmt.Errorf("shard: fetch request: %w", f.Err())
+		}
+	}
+	data, _, err := c.FetchArtifact(attempt, kind, name, "")
+	if err != nil {
+		return nil, err
+	}
+	if f := faultinject.On(faultinject.SiteFetchBody); f != nil {
+		switch f.Action {
+		case faultinject.ActCorrupt:
+			data = f.Corrupt(data)
+		case faultinject.ActHang:
+			f.Sleep(attempt.Done())
+		default:
+			return nil, fmt.Errorf("shard: fetch body: %w: disconnected after %d bytes", f.Err(), f.Prefix(len(data)))
+		}
+	}
+	return data, nil
 }

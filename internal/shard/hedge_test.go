@@ -123,7 +123,7 @@ func TestHedgeFallsBackOnPrimaryFailure(t *testing.T) {
 	owners := r.Owners("nlp", 42)
 	primary, secondary := instanceOf(backends, owners[0]), instanceOf(backends, owners[1])
 	atomic.StoreInt64(&primary.delayNS, int64(100*time.Millisecond))
-	primary.fail.Store(error(api.ErrUnavailable))
+	primary.fail.Store(failSlot{api.ErrUnavailable})
 
 	resp, err := r.Select(ctx, req)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 
 	"twophase/internal/admission"
 	"twophase/internal/api"
+	"twophase/internal/breaker"
 	"twophase/internal/core"
 )
 
@@ -66,6 +67,16 @@ type RouterOptions struct {
 	// HedgeMinSamples is how many latency samples must accumulate before
 	// hedging arms (0 = DefaultHedgeMinSamples).
 	HedgeMinSamples int
+	// AttemptTimeout bounds each individual forwarded HTTP attempt,
+	// distinct from the request's own deadline: a hung backend costs one
+	// attempt timeout and a failover, not the whole deadline_ms. 0 leaves
+	// attempts bounded only by the caller's context.
+	AttemptTimeout time.Duration
+	// Breaker tunes the per-backend circuit breakers (zero value =
+	// package defaults). A backend whose breaker is open is skipped by
+	// scatter and failover until its cooldown admits probes again; health
+	// probe successes also close it directly.
+	Breaker breaker.Options
 }
 
 // backendCounters is one backend's routing ledger (atomics).
@@ -88,11 +99,13 @@ type Router struct {
 	clients map[string]*api.Client
 	opts    RouterOptions
 
-	counters  map[string]*backendCounters
-	failovers int64 // atomic
-	hedges    int64 // atomic: hedged sub-requests fired
-	hedgeWins int64 // atomic: hedges whose response was the one used
-	latency   *admission.Window
+	counters     map[string]*backendCounters
+	breakers     *breaker.Set
+	failovers    int64 // atomic
+	breakerSkips int64 // atomic: candidates skipped by an open breaker
+	hedges       int64 // atomic: hedged sub-requests fired
+	hedgeWins    int64 // atomic: hedges whose response was the one used
+	latency      *admission.Window
 }
 
 // NewRouter builds a router over a fixed backend set. Start begins health
@@ -115,11 +128,16 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		ring:     ring,
 		clients:  make(map[string]*api.Client, len(opts.Backends)),
 		counters: make(map[string]*backendCounters, len(opts.Backends)),
+		breakers: breaker.NewSet(opts.Breaker),
 		opts:     opts,
 		latency:  admission.NewWindow(DefaultHedgeWindow),
 	}
 	for _, b := range opts.Backends {
-		r.clients[b] = api.NewClient(b, opts.HTTPClient)
+		c := api.NewClient(b, opts.HTTPClient)
+		if opts.AttemptTimeout > 0 {
+			c = c.WithAttemptTimeout(opts.AttemptTimeout)
+		}
+		r.clients[b] = c
 		r.counters[b] = &backendCounters{}
 	}
 	r.members, err = NewMembership(MembershipOptions{
@@ -129,8 +147,15 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		Probe: func(ctx context.Context, node string) (string, error) {
 			h, err := r.clients[node].Healthz(ctx)
 			if err != nil {
+				// A failed probe counts against the breaker too, so a
+				// backend that died between requests opens its circuit
+				// without costing live traffic the discovery.
+				r.breakers.Failure(node)
 				return "", err
 			}
+			// A healthy probe closes the circuit directly — the probe loop
+			// is the re-admission path after a schedule drains.
+			r.breakers.Success(node)
 			return h.Instance, nil
 		},
 	})
@@ -148,6 +173,26 @@ func (r *Router) Close() { r.members.Close() }
 
 // Membership exposes the health tracker (for readiness gates and tests).
 func (r *Router) Membership() *Membership { return r.members }
+
+// Breakers exposes the per-backend circuit breakers (for stats and the
+// chaos harness's reconvergence poll).
+func (r *Router) Breakers() *breaker.Set { return r.breakers }
+
+// admitted filters a candidate list through the circuit breakers,
+// counting skips. An all-open candidate set returns empty; callers
+// surface that as a typed unavailability — the cooldown plus the probe
+// loop re-admit the peers, so the refusal is transient by construction.
+func (r *Router) admitted(candidates []string) []string {
+	out := make([]string, 0, len(candidates))
+	for _, node := range candidates {
+		if r.breakers.Allow(node) {
+			out = append(out, node)
+		} else {
+			atomic.AddInt64(&r.breakerSkips, 1)
+		}
+	}
+	return out
+}
 
 // Owners returns the replica owner set for one world, in ring priority
 // order — the routing decision as a pure function, for tests and ops.
@@ -204,6 +249,12 @@ func retryable(err error) bool {
 // retryable errors. It returns the first success — the serving backend's
 // node URL plus its self-reported instance id — or the terminal error.
 func (r *Router) forward(ctx context.Context, candidates []string, send func(ctx context.Context, c *api.Client) error) (node, instance string, err error) {
+	open := len(candidates)
+	candidates = r.admitted(candidates)
+	open -= len(candidates)
+	if len(candidates) == 0 {
+		return "", "", fmt.Errorf("%w: all %d candidate backends have open circuit breakers", api.ErrUnavailable, open)
+	}
 	var lastErr error
 	for attempt, node := range candidates {
 		if attempt > 0 {
@@ -213,6 +264,7 @@ func (r *Router) forward(ctx context.Context, candidates []string, send func(ctx
 		var instance string
 		err := send(api.WithInstanceCapture(ctx, &instance), r.clients[node])
 		if err == nil {
+			r.breakers.Success(node)
 			return node, instance, nil
 		}
 		if !retryable(err) || ctx.Err() != nil {
@@ -221,6 +273,7 @@ func (r *Router) forward(ctx context.Context, candidates []string, send func(ctx
 			return "", "", err
 		}
 		atomic.AddInt64(&r.counters[node].failures, 1)
+		r.breakers.Failure(node)
 		// Feed the failure into membership so the request path and the
 		// probe loop converge on one health view — but only transport
 		// failures: a decoded 5xx body came from a live, reachable
@@ -253,10 +306,12 @@ func (r *Router) attemptOne(ctx context.Context, node string, sub *api.SelectReq
 	resp, err := r.clients[node].Select(api.WithInstanceCapture(ctx, &instance), sub)
 	if err == nil {
 		r.latency.Observe(time.Since(start))
+		r.breakers.Success(node)
 		return attempt{node: node, instance: instance, resp: resp}
 	}
 	if retryable(err) && ctx.Err() == nil {
 		atomic.AddInt64(&r.counters[node].failures, 1)
+		r.breakers.Failure(node)
 		// Feed the failure into membership so the request path and the
 		// probe loop converge on one health view — but only transport
 		// failures: a decoded 5xx body came from a live, reachable
@@ -325,6 +380,12 @@ func (r *Router) hedgedPair(ctx context.Context, primary, secondary string, dela
 // window arms them. Hedge traffic is not a failover — the failover
 // counter keeps meaning "a backend failed and another answered".
 func (r *Router) forwardSelect(ctx context.Context, candidates []string, sub *api.SelectRequest) attempt {
+	open := len(candidates)
+	candidates = r.admitted(candidates)
+	open -= len(candidates)
+	if len(candidates) == 0 {
+		return attempt{err: fmt.Errorf("%w: all %d candidate backends have open circuit breakers", api.ErrUnavailable, open)}
+	}
 	var lastErr error
 	for i := 0; i < len(candidates); i++ {
 		if i > 0 {
@@ -519,11 +580,13 @@ func (r *Router) Targets(ctx context.Context, task string) (*api.TargetsResponse
 // gateway's ring shape, routing counters and per-backend detail.
 func (r *Router) Stats(ctx context.Context) (*api.Stats, error) {
 	snap := r.members.Snapshot()
+	breakers := r.breakers.Snapshot()
 	g := &api.GatewayStats{
 		Backends:     len(r.opts.Backends),
 		VNodes:       r.ring.VNodes(),
 		Replicas:     r.opts.Replicas,
 		Failovers:    atomic.LoadInt64(&r.failovers),
+		BreakerSkips: atomic.LoadInt64(&r.breakerSkips),
 		Hedges:       atomic.LoadInt64(&r.hedges),
 		HedgeWins:    atomic.LoadInt64(&r.hedgeWins),
 		BackendStats: make([]api.BackendStats, len(snap)),
@@ -542,6 +605,13 @@ func (r *Router) Stats(ctx context.Context) (*api.Stats, error) {
 		bs.Instance = ns.Instance
 		bs.Alive = ns.Alive
 		bs.DownEvents = ns.DownEvents
+		if st, ok := breakers[ns.Node]; ok {
+			bs.Breaker = st
+		} else {
+			// No traffic has touched this backend's breaker yet; report
+			// the state a fresh breaker would have.
+			bs.Breaker = breaker.Closed.String()
+		}
 		bs.Requests = atomic.LoadInt64(&r.counters[ns.Node].requests)
 		bs.Failures = atomic.LoadInt64(&r.counters[ns.Node].failures)
 		if ns.Alive {
@@ -577,6 +647,9 @@ func (r *Router) Stats(ctx context.Context) (*api.Stats, error) {
 			out.PersistDegraded = true
 			out.PersistError = st.PersistError
 		}
+		out.Panics += st.Panics
+		out.DegradedWorlds += st.DegradedWorlds
+		out.DegradedServes += st.DegradedServes
 		if st.Artifacts != nil {
 			if out.Artifacts == nil {
 				out.Artifacts = &api.ArtifactStats{}

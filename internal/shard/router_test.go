@@ -16,6 +16,9 @@ import (
 // stubBackend is a scriptable api.API served over a real httptest server
 // with an instance id, so router tests exercise the full HTTP path
 // (client, error codes, instance header) without the selection engine.
+// failSlot wraps the scripted error so clearing it is representable.
+type failSlot struct{ err error }
+
 type stubBackend struct {
 	instance string
 	srv      *httptest.Server
@@ -23,8 +26,10 @@ type stubBackend struct {
 	// delayNS, when set, makes Select sleep before answering (canceled by
 	// ctx) — a slow replica for hedging tests. Atomic nanoseconds.
 	delayNS int64
-	// fail, when set, makes Select return this error.
-	fail atomic.Value // error
+	// fail, when set, makes Select return the slotted error. A slot is
+	// used because atomic.Value cannot store nil: failSlot{} clears a
+	// previously-set failure.
+	fail atomic.Value // failSlot
 	// truncate, when set, drops the last result from every Select
 	// response — a version-skewed backend violating the shape contract.
 	truncate atomic.Bool
@@ -42,8 +47,8 @@ func (b *stubBackend) Select(ctx context.Context, req *api.SelectRequest) (*api.
 			return nil, ctx.Err()
 		}
 	}
-	if err, _ := b.fail.Load().(error); err != nil {
-		return nil, err
+	if s, _ := b.fail.Load().(failSlot); s.err != nil {
+		return nil, s.err
 	}
 	resp := &api.SelectResponse{
 		APIVersion:    api.Version,

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,6 +28,7 @@ import (
 
 	"twophase/internal/artifact"
 	"twophase/internal/datahub"
+	"twophase/internal/faultinject"
 	"twophase/internal/modelhub"
 	"twophase/internal/numeric"
 	"twophase/internal/perfmatrix"
@@ -52,14 +54,25 @@ type Store struct {
 	mu  sync.RWMutex
 }
 
-// Open creates (if needed) and opens a store rooted at dir.
+// Open creates (if needed) and opens a store rooted at dir, then runs the
+// recovery sweep: orphaned temp files from a writer killed mid-write and
+// checksum-failing artifacts are quarantined before anything is served.
 func Open(dir string) (*Store, error) {
 	for _, sub := range []string{"models", "datasets", "matrices", "recalls", "frames"} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: create %s: %w", sub, err)
 		}
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	rep, err := s.Sweep()
+	if err != nil {
+		return nil, err
+	}
+	if rep.Orphans > 0 || rep.Corrupt > 0 {
+		log.Printf("store: recovery sweep quarantined %d orphaned temp files, %d corrupt artifacts in %s",
+			rep.Orphans, rep.Corrupt, dir)
+	}
+	return s, nil
 }
 
 // slug converts an artifact name (possibly containing "/") into a file
@@ -113,11 +126,26 @@ func binSlug(name string) string {
 	return strings.TrimSuffix(slug(name), ".json") + ".bin"
 }
 
-// writeFile atomically installs data at path: unique temp file (serving
-// processes may share a store directory, and a fixed name would let two
-// concurrent writers interleave into a corrupted artifact), chmod,
-// rename.
+// writeFile atomically and durably installs data at path: unique temp
+// file (serving processes may share a store directory, and a fixed name
+// would let two concurrent writers interleave into a corrupted artifact),
+// write, fsync, chmod, rename, then a best-effort fsync of the directory
+// so the rename itself survives a power cut. A crash at any point leaves
+// either the old artifact or an orphaned temp file — never a torn
+// artifact under the real name — and the startup sweep quarantines the
+// orphans.
 func writeFile(path string, data []byte) error {
+	if f := faultinject.On(faultinject.SiteStoreWrite); f != nil {
+		if f.Action == faultinject.ActTorn {
+			// Manufacture the on-disk shape of a writer killed mid-write:
+			// a partial temp file, never fsynced, never renamed.
+			if tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*"); err == nil {
+				tmp.Write(data[:f.Prefix(len(data))])
+				tmp.Close()
+			}
+		}
+		return fmt.Errorf("store: write %s: %w", path, f.Err())
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("store: temp for %s: %w", path, err)
@@ -126,6 +154,11 @@ func writeFile(path string, data []byte) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
 		return fmt.Errorf("store: write %s: %w", tmp.Name(), err)
+	}
+	if err := syncFile(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: fsync %s: %w", tmp.Name(), err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
@@ -139,7 +172,35 @@ func writeFile(path string, data []byte) error {
 		os.Remove(tmp.Name())
 		return err
 	}
+	syncDir(filepath.Dir(path))
 	return nil
+}
+
+// syncFile flushes the temp file's data to stable storage before the
+// rename makes it visible. Filesystems that cannot fsync (some tmpfs and
+// network mounts) are tolerated — atomicity still holds there, only
+// power-cut durability degrades to the filesystem's own guarantee.
+func syncFile(tmp *os.File) error {
+	if f := faultinject.On(faultinject.SiteStoreFsync); f != nil {
+		return f.Err()
+	}
+	if err := tmp.Sync(); err != nil &&
+		!errors.Is(err, syscall.ENOTSUP) && !errors.Is(err, syscall.EINVAL) {
+		return err
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives a power
+// cut. Best-effort: the artifact itself is already durable and
+// re-creatable, so a directory that cannot fsync is not an error.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 func (s *Store) write(kind, name string, v interface{}) error {
@@ -185,51 +246,73 @@ func (s *Store) writeBinary(kind, name string, data []byte) error {
 }
 
 func (s *Store) read(kind, name string, v interface{}) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	path := filepath.Join(s.dir, kind, slug(name))
-	data, err := os.ReadFile(path)
-	if isNotExist(err) {
-		// Stores written by older binaries used the legacy encoding; fall
-		// back only when that file couldn't be another name's current
-		// artifact under the new encoding.
-		if legacy := legacySlug(name); legacy != slug(name) && legacyOnly(legacy) {
-			path = filepath.Join(s.dir, kind, legacy)
-			data, err = os.ReadFile(path)
+	file := slug(name)
+	err := func() error {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if f := faultinject.On(faultinject.SiteStoreRead); f != nil {
+			return fmt.Errorf("store: read %s/%s: %w", kind, name, f.Err())
 		}
+		path := filepath.Join(s.dir, kind, file)
+		data, err := os.ReadFile(path)
+		if isNotExist(err) {
+			// Stores written by older binaries used the legacy encoding; fall
+			// back only when that file couldn't be another name's current
+			// artifact under the new encoding.
+			if legacy := legacySlug(name); legacy != slug(name) && legacyOnly(legacy) {
+				file = legacy
+				path = filepath.Join(s.dir, kind, legacy)
+				data, err = os.ReadFile(path)
+			}
+		}
+		switch {
+		case err == nil:
+		case isNotExist(err):
+			return fmt.Errorf("%w: %s/%s", ErrNotFound, kind, name)
+		default:
+			return fmt.Errorf("store: read %s/%s: %w", kind, name, err)
+		}
+		if err := json.Unmarshal(data, v); err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+		}
+		return nil
+	}()
+	if errors.Is(err, ErrCorrupt) {
+		// Never decode (or let a rebuild be shadowed by) this file again.
+		s.quarantineCorrupt(kind, file)
 	}
-	switch {
-	case err == nil:
-	case isNotExist(err):
-		return fmt.Errorf("%w: %s/%s", ErrNotFound, kind, name)
-	default:
-		return fmt.Errorf("store: read %s/%s: %w", kind, name, err)
-	}
-	if err := json.Unmarshal(data, v); err != nil {
-		return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
-	}
-	return nil
+	return err
 }
 
 // withBinary maps the binary encoding of kind/name and runs fn over it
 // while the mapping is held; fn must copy anything it keeps. A missing
-// file is ErrNotFound.
+// file is ErrNotFound; a file fn rejects is ErrCorrupt and is quarantined
+// so it can never be decoded again or shadow the healing rewrite.
 func (s *Store) withBinary(kind, name string, fn func(data []byte) error) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	path := filepath.Join(s.dir, kind, binSlug(name))
-	data, release, err := artifact.MapFile(path)
-	if isNotExist(err) {
-		return fmt.Errorf("%w: %s/%s", ErrNotFound, kind, name)
+	err := func() error {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if f := faultinject.On(faultinject.SiteStoreRead); f != nil {
+			return fmt.Errorf("store: read %s/%s: %w", kind, name, f.Err())
+		}
+		path := filepath.Join(s.dir, kind, binSlug(name))
+		data, release, err := artifact.MapFile(path)
+		if isNotExist(err) {
+			return fmt.Errorf("%w: %s/%s", ErrNotFound, kind, name)
+		}
+		if err != nil {
+			return fmt.Errorf("store: map %s: %w", path, err)
+		}
+		defer release()
+		if err := fn(data); err != nil {
+			return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+		}
+		return nil
+	}()
+	if errors.Is(err, ErrCorrupt) {
+		s.quarantineCorrupt(kind, binSlug(name))
 	}
-	if err != nil {
-		return fmt.Errorf("store: map %s: %w", path, err)
-	}
-	defer release()
-	if err := fn(data); err != nil {
-		return fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
-	}
-	return nil
+	return err
 }
 
 func (s *Store) list(kind string) ([]string, error) {

@@ -2,7 +2,10 @@ package trainer
 
 import (
 	"context"
+	"fmt"
+	"log"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -55,7 +58,7 @@ func FineTuneGrid(ctx context.Context, models []*modelhub.Model, datasets []*dat
 					return
 				}
 				mi, di := i/len(datasets), i%len(datasets)
-				curves[i], errs[i] = FineTune(models[mi], datasets[di], hp, seed, salt)
+				curves[i], errs[i] = fineTuneCell(models[mi], datasets[di], hp, seed, salt)
 			}
 		}()
 	}
@@ -69,4 +72,18 @@ func FineTuneGrid(ctx context.Context, models []*modelhub.Model, datasets []*dat
 		}
 	}
 	return curves, nil
+}
+
+// fineTuneCell trains one grid cell, converting a panic in the training
+// kernel into that cell's error: the grid workers run on bare goroutines,
+// where an unrecovered panic would kill the whole process instead of
+// failing the one offline build that hit it.
+func fineTuneCell(m *modelhub.Model, d *datahub.Dataset, hp Hyperparams, seed uint64, salt string) (c Curve, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			log.Printf("trainer: fine-tune %s/%s panicked: %v\n%s", m.Name, d.Name, rec, debug.Stack())
+			c, err = Curve{}, fmt.Errorf("trainer: fine-tune %s/%s panicked: %v", m.Name, d.Name, rec)
+		}
+	}()
+	return FineTune(m, d, hp, seed, salt)
 }
